@@ -1,0 +1,112 @@
+"""Figure 1 and Section III-A: same-node failure correlations.
+
+Paper targets:
+
+* III-A.1 text -- daily probability 0.31% -> 7.2% (~20X) in group-1 and
+  4.6% -> 21.45% (~5X) in group-2; weekly 2.04% -> 15.64% and
+  22.5% -> 60.4%.
+* Figure 1(a) -- every trigger type raises weekly follow-up probability
+  (7-10X typical in group-1, 2-3X in group-2); network and environment
+  are the strongest (14-23X in group-1), reaching 30-50% absolute.
+* Figure 1(b) -- same-type triggers beat any-type triggers for every
+  target; ENV/NET by enormous factors.
+* III-A.4 -- weekly memory-after-memory probability 20.23% vs 0.21%
+  random in group-1 (~100X); group-2 4.2% -> 12.6%.
+"""
+
+import pytest
+
+from repro.core.correlations import (
+    hardware_detail,
+    same_node_any,
+    same_node_by_target,
+    same_node_by_trigger,
+)
+from repro.records.taxonomy import Category, HardwareSubtype
+from repro.records.timeutil import Span
+
+
+def test_text_any_failure(benchmark, bench_group1, bench_group2):
+    """III-A.1: after-any-failure day/week factors, both groups."""
+
+    def run():
+        return {
+            (label, span): same_node_any(grp, span)
+            for label, grp in (("g1", bench_group1), ("g2", bench_group2))
+            for span in (Span.DAY, Span.WEEK)
+        }
+
+    results = benchmark(run)
+    g1_day = results[("g1", Span.DAY)]
+    g2_day = results[("g2", Span.DAY)]
+    # Group-1: large factor (paper ~20X); conditional near the paper's 7%.
+    assert g1_day.factor > 5.0
+    assert 0.02 < g1_day.conditional.value < 0.20
+    # Group-2: smaller factor off a much larger baseline (paper ~5X).
+    assert 1.5 < g2_day.factor < g1_day.factor
+    assert g2_day.baseline.value > 0.02
+    for key, res in results.items():
+        assert res.test.significant, key
+    print("\n[fig1/text] " + "  ".join(
+        f"{label}/{span}: {r.conditional.value:.3f} vs {r.baseline.value:.4f} "
+        f"({r.factor:.1f}x)"
+        for (label, span), r in results.items()
+    ))
+
+
+def test_fig1a(benchmark, bench_group1):
+    """Figure 1(a), group-1: weekly follow-up probability by trigger."""
+    results = benchmark(same_node_by_trigger, bench_group1)
+    by = {r.trigger: r.comparison for r in results}
+    # Every type raises the probability significantly.
+    for cat, comparison in by.items():
+        assert comparison.factor > 1.5, cat
+        assert comparison.test.significant, cat
+    # ENV and NET strongest; 30-50% absolute after them (paper).
+    strongest = max(by, key=lambda c: by[c].factor)
+    assert strongest in (Category.ENVIRONMENT, Category.NETWORK)
+    assert by[Category.ENVIRONMENT].conditional.value > 0.25
+    assert by[Category.NETWORK].conditional.value > 0.25
+    print("\n[fig1a] " + "  ".join(
+        f"{c.value}:{by[c].factor:.1f}x" for c in by
+    ))
+
+
+def test_fig1b(benchmark, bench_group1):
+    """Figure 1(b), group-1: same-type vs any-type target probabilities."""
+    results = benchmark(same_node_by_target, bench_group1)
+    for r in results:
+        if r.after_same.conditional.trials < 30:
+            continue
+        # Same-type conditioning beats any-type conditioning.
+        assert (
+            r.after_same.conditional.value
+            >= 0.8 * r.after_any.conditional.value
+        ), r.target
+        assert r.after_same.factor > 1.5, r.target
+    env = next(r for r in results if r.target is Category.ENVIRONMENT)
+    net = next(r for r in results if r.target is Category.NETWORK)
+    # The paper's headline: dramatic same-type increases for ENV/NET.
+    assert env.after_same.factor > 10
+    assert net.after_same.factor > 10
+    print("\n[fig1b] " + "  ".join(
+        f"{r.target.value if isinstance(r.target, Category) else r.target.value}"
+        f":{r.after_same.factor:.0f}x/{r.after_any.factor:.0f}x"
+        for r in results
+    ))
+
+
+def test_hw_detail(benchmark, bench_group1):
+    """III-A.4: memory and CPU same-subtype weekly correlations."""
+    results = benchmark(hardware_detail, bench_group1)
+    mem = next(r for r in results if r.target is HardwareSubtype.MEMORY)
+    cpu = next(r for r in results if r.target is HardwareSubtype.CPU)
+    # Paper: ~100X for memory in group-1; large and significant here.
+    assert mem.after_same.factor > 8
+    assert mem.after_same.test.significant
+    assert cpu.after_same.factor > 5
+    print(
+        f"\n[hw-detail] mem same-type {mem.after_same.conditional.value:.3f} "
+        f"vs {mem.after_same.baseline.value:.4f} ({mem.after_same.factor:.0f}x); "
+        f"cpu {cpu.after_same.factor:.0f}x"
+    )

@@ -1,0 +1,98 @@
+"""Figure 10 and Section VII-A: power problems -> hardware failures.
+
+Paper targets:
+
+* Figure 10 (left): all four power problems (outage, spike, PSU failure,
+  UPS failure) significantly raise hardware failure probability; in the
+  month window all land around 5-10X; spikes act with a delay (weak on
+  the day, strong by the month).
+* Figure 10 (right): memory DIMMs, node boards and power supplies react
+  strongly (5-40X monthly); memory reacts more to spikes than outages;
+  CPUs show no clear increase.
+* Section VII-A.2: unscheduled hardware maintenance inflates ~90X within
+  a month of an outage/spike, ~30X after a PSU failure, ~100X after a
+  UPS failure (we check large, ordered factors).
+"""
+
+import pytest
+
+from repro.core.power import (
+    hardware_component_impact,
+    hardware_impact,
+    maintenance_impact,
+)
+from repro.records.taxonomy import EnvironmentSubtype, HardwareSubtype
+from repro.records.timeutil import Span
+
+
+def test_fig10_left(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(hardware_impact, systems)
+    by = {(c.trigger, c.span): c.comparison for c in cells}
+    # Month window: all four triggers elevated and significant.
+    for trig in (
+        EnvironmentSubtype.POWER_OUTAGE,
+        EnvironmentSubtype.POWER_SPIKE,
+        HardwareSubtype.POWER_SUPPLY,
+        EnvironmentSubtype.UPS,
+    ):
+        month = by[(trig, Span.MONTH)]
+        assert month.factor > 2.0, trig
+        assert month.test.significant, trig
+    # Spike delay: spikes act weakly in the short term.  Compare against
+    # the two high-trigger-count problems (outages and PSU failures);
+    # UPS failures have too few triggers at benchmark scale for a stable
+    # day-window factor.
+    day = {t: by[(t, Span.DAY)].factor for t, s in by if s is Span.DAY}
+    assert day[EnvironmentSubtype.POWER_SPIKE] < day[
+        EnvironmentSubtype.POWER_OUTAGE
+    ]
+    assert day[EnvironmentSubtype.POWER_SPIKE] < day[
+        HardwareSubtype.POWER_SUPPLY
+    ]
+    print("\n[fig10-left/month] " + "  ".join(
+        f"{t.value}:{by[(t, Span.MONTH)].factor:.1f}x"
+        for t, s in by
+        if s is Span.MONTH
+    ))
+
+
+def test_fig10_right(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(hardware_component_impact, systems)
+    by = {(c.trigger, c.target): c.comparison for c in cells}
+    outage = EnvironmentSubtype.POWER_OUTAGE
+    psu_trig = HardwareSubtype.POWER_SUPPLY
+    # Memory/node boards/power supplies react; CPUs react least.
+    for comp in (
+        HardwareSubtype.MEMORY,
+        HardwareSubtype.NODE_BOARD,
+        HardwareSubtype.POWER_SUPPLY,
+    ):
+        assert by[(outage, comp)].factor > by[(outage, HardwareSubtype.CPU)].factor, comp
+    # PSU-failure trigger hits fans and supplies hard (paper: 40X+).
+    assert by[(psu_trig, HardwareSubtype.POWER_SUPPLY)].factor > 3
+    print("\n[fig10-right/outage] " + "  ".join(
+        f"{comp.value}:{by[(outage, comp)].factor:.1f}x"
+        for t, comp in by
+        if t is outage
+    ))
+
+
+def test_maintenance(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(maintenance_impact, systems)
+    by = {c.trigger: c.comparison for c in cells}
+    for trig, comparison in by.items():
+        assert comparison.test.significant, trig
+    # Ordering: outage/UPS inflate more than PSU failures (paper:
+    # ~25%/28% vs 8% conditional probability).
+    assert (
+        by[EnvironmentSubtype.POWER_OUTAGE].conditional.value
+        > by[HardwareSubtype.POWER_SUPPLY].conditional.value
+    )
+    assert by[EnvironmentSubtype.UPS].factor > 5
+    print("\n[maint/month] " + "  ".join(
+        f"{t.value}:{c.conditional.value:.2f} ({c.factor:.0f}x)"
+        for t, c in by.items()
+    ))

@@ -1,0 +1,51 @@
+"""Figure 11 and Section VII-B: power problems -> software failures.
+
+Paper targets: outages and UPS failures are strongest (45X / 29X weekly
+factors), spikes and PSU failures weaker (10-20X) but significant; the
+month-window software outages following power problems are dominated by
+storage (DST, then PFS/CFS) rather than the operating system.
+"""
+
+import pytest
+
+from repro.core.power import software_impact, software_subtype_impact
+from repro.records.taxonomy import EnvironmentSubtype, HardwareSubtype, SoftwareSubtype
+from repro.records.timeutil import Span
+
+
+def test_fig11_left(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(software_impact, systems)
+    by = {(c.trigger, c.span): c.comparison for c in cells}
+    week = {t: by[(t, Span.WEEK)] for t, s in by if s is Span.WEEK}
+    for trig, comparison in week.items():
+        assert comparison.factor > 2.0, trig
+        assert comparison.test.significant, trig
+    # Outage is the strongest weekly software trigger.
+    assert week[EnvironmentSubtype.POWER_OUTAGE].factor == max(
+        c.factor for c in week.values()
+    )
+    print("\n[fig11-left/week] " + "  ".join(
+        f"{t.value}:{c.factor:.1f}x" for t, c in week.items()
+    ))
+
+
+def test_fig11_right(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(software_subtype_impact, systems)
+    outage = {
+        c.target: c.comparison
+        for c in cells
+        if c.trigger is EnvironmentSubtype.POWER_OUTAGE
+    }
+    # Storage dominates: DST conditional beats OS, and the combined
+    # storage stack (DST+PFS+CFS) beats OS clearly.
+    dst = outage[SoftwareSubtype.DST].conditional.value
+    pfs = outage[SoftwareSubtype.PFS].conditional.value
+    cfs = outage[SoftwareSubtype.CFS].conditional.value
+    os_ = outage[SoftwareSubtype.OS].conditional.value
+    assert dst > os_
+    assert dst + pfs + cfs > 1.5 * os_
+    print("\n[fig11-right/outage] " + "  ".join(
+        f"{sub.value}:{c.conditional.value:.3f}" for sub, c in outage.items()
+    ))

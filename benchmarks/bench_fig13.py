@@ -1,0 +1,100 @@
+"""Figure 13 and Section VIII: temperature effects.
+
+Paper targets:
+
+* Regressions: average/maximum/variance of node temperature are NOT
+  significant predictors of hardware (or CPU/DRAM) failures -- the
+  overdispersion-robust NB model finds nothing.
+* Figure 13 (left): fan failures raise hardware failure rates ~40X on
+  the following day; chiller failures 6-9X -- fans always stronger.
+* Figure 13 (right): every component except CPUs reacts to fan failures
+  (fans themselves the most, memory/node boards/power supplies 10-20X);
+  chillers move memory and node boards.
+"""
+
+import pytest
+
+from repro.core.temperature import (
+    fan_chiller_impact,
+    temperature_regressions,
+    thermal_component_impact,
+)
+from repro.records.taxonomy import (
+    Category,
+    EnvironmentSubtype,
+    HardwareSubtype,
+)
+from repro.records.timeutil import Span
+from repro.simulate.config import TEMPERATURE_SYSTEM
+
+
+def test_temp_regression(benchmark, bench_archive):
+    ds = bench_archive[TEMPERATURE_SYSTEM]
+
+    def run():
+        return {
+            target: temperature_regressions(ds, target=target)
+            for target in (
+                Category.HARDWARE,
+                HardwareSubtype.CPU,
+                HardwareSubtype.MEMORY,
+            )
+        }
+
+    results = benchmark(run)
+    for target, r in results.items():
+        assert not r.robustly_significant, target
+        assert r.negbin.converged, target
+    hw = results[Category.HARDWARE]
+    print(
+        "\n[fig13/regression] NB p-values: "
+        + "  ".join(
+            f"{c.name}={c.p_value:.2f}"
+            for c in hw.negbin.coefficients
+            if c.name != "(Intercept)"
+        )
+    )
+
+
+def test_fig13_left(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(fan_chiller_impact, systems)
+    by = {(c.trigger, c.span): c.comparison for c in cells}
+    for span in (Span.DAY, Span.WEEK, Span.MONTH):
+        fan = by[(HardwareSubtype.FAN, span)]
+        chiller = by[(EnvironmentSubtype.CHILLER, span)]
+        assert fan.factor > 2.0, span
+        assert fan.test.significant, span
+        # Fans hit the affected node harder than room chillers (paper:
+        # 40X vs 6-9X on the day); the gap narrows as the window grows,
+        # so only the short windows are strictly ordered.
+        if span is Span.MONTH:
+            assert fan.factor > 0.9 * chiller.factor
+        else:
+            assert fan.factor > chiller.factor, span
+    print("\n[fig13-left] " + "  ".join(
+        f"{t.value}/{s}:{by[(t, s)].factor:.1f}x" for t, s in by
+    ))
+
+
+def test_fig13_right(benchmark, bench_archive):
+    systems = list(bench_archive)
+    cells = benchmark(thermal_component_impact, systems)
+    fan = {
+        c.target: c.comparison
+        for c in cells
+        if c.trigger is HardwareSubtype.FAN
+    }
+    # Fans themselves react the most (paper: 120X); CPUs the least.
+    assert fan[HardwareSubtype.FAN].factor == max(
+        c.factor for c in fan.values()
+    )
+    for comp in (
+        HardwareSubtype.MEMORY,
+        HardwareSubtype.NODE_BOARD,
+        HardwareSubtype.MSC_BOARD,
+    ):
+        assert fan[comp].factor > fan[HardwareSubtype.CPU].factor, comp
+    print("\n[fig13-right/fan] " + "  ".join(
+        f"{comp.value}:{c.factor:.1f}x" for comp, c in fan.items()
+    ))

@@ -1,0 +1,43 @@
+"""Figure 5 and Section IV-B: root-cause breakdown, prone node vs rest.
+
+Paper targets: failure-prone nodes carry a higher share of software,
+environment and network failures than the rest of the system, and their
+dominant failure mode shifts from hardware to software.
+"""
+
+import pytest
+
+from repro.core.nodes import breakdown_comparison
+from repro.records.taxonomy import Category
+from repro.simulate.config import FIG4_SYSTEMS
+
+
+def test_fig5(benchmark, bench_archive):
+    def run():
+        return {
+            sid: breakdown_comparison(bench_archive[sid])
+            for sid in FIG4_SYSTEMS
+        }
+
+    results = benchmark(run)
+    for sid, bd in results.items():
+        # The rest of the system is hardware-dominated...
+        assert bd.dominant(prone=False) is Category.HARDWARE, sid
+        # ...while the prone node shifts away from hardware, with
+        # elevated SW/NET/ENV shares.
+        assert bd.dominant(prone=True) is not Category.HARDWARE, sid
+        assert (
+            bd.prone_shares[Category.SOFTWARE]
+            > bd.rest_shares[Category.SOFTWARE]
+        ), sid
+        assert (
+            bd.prone_shares[Category.NETWORK]
+            > bd.rest_shares[Category.NETWORK]
+        ), sid
+    print("\n[fig5] " + "  ".join(
+        f"sys{sid}: prone={bd.dominant(True).value} "
+        f"rest={bd.dominant(False).value} "
+        f"(SW {bd.prone_shares[Category.SOFTWARE]:.0%} vs "
+        f"{bd.rest_shares[Category.SOFTWARE]:.0%})"
+        for sid, bd in results.items()
+    ))

@@ -1,0 +1,51 @@
+"""Figure 6 and Section IV-B: per-type window probabilities, node 0 vs rest.
+
+Paper targets: node 0 shows increased probabilities for every failure
+type; the increase is extreme for environment (~2000X) and network
+(500-1000X), large for software (36-118X), modest for hardware (5-10X),
+and insignificant only for human errors.
+"""
+
+import pytest
+
+from repro.core.nodes import per_type_equal_rates, prone_type_probabilities
+from repro.records.taxonomy import Category
+from repro.records.timeutil import Span
+from repro.simulate.config import FIG4_SYSTEMS
+
+
+def test_fig6(benchmark, bench_archive):
+    def run():
+        return {
+            sid: prone_type_probabilities(
+                bench_archive[sid], spans=[Span.DAY, Span.WEEK, Span.MONTH]
+            )
+            for sid in FIG4_SYSTEMS
+        }
+
+    results = benchmark(run)
+    for sid, cells in results.items():
+        week = {
+            c.kind: c for c in cells if c.span is Span.WEEK
+        }
+        env_net_max = max(
+            week[Category.ENVIRONMENT].factor, week[Category.NETWORK].factor
+        )
+        sw = week[Category.SOFTWARE].factor
+        hw = week[Category.HARDWARE].factor
+        # Ordering: (ENV or NET) > SW > HW; HW still elevated.
+        assert env_net_max > hw, sid
+        assert sw > hw, sid
+        assert hw > 1.0, sid
+    # Per-type chi-square: everything but HUMAN rejects equal rates.
+    tests = per_type_equal_rates(bench_archive[FIG4_SYSTEMS[0]])
+    for cat in (Category.SOFTWARE, Category.NETWORK, Category.HARDWARE):
+        assert tests[cat] is not None and tests[cat].significant, cat
+    week18 = {
+        c.kind: c
+        for c in results[FIG4_SYSTEMS[0]]
+        if c.span is Span.WEEK
+    }
+    print("\n[fig6/sys18-week] " + "  ".join(
+        f"{k.value}:{c.factor:.0f}x" for k, c in week18.items()
+    ))

@@ -1,0 +1,31 @@
+"""Figure 9 and Section VII: breakdown of environmental failures.
+
+Paper targets: power outages 49%, power spikes 21%, UPS failures 15%,
+chiller failures 9%, other environment 6% -- i.e. power problems are the
+large majority of environmental failures, outages the single largest.
+"""
+
+import pytest
+
+from repro.core.power import environment_breakdown
+from repro.records.taxonomy import EnvironmentSubtype
+
+
+def test_fig9(benchmark, bench_archive):
+    bd = benchmark(environment_breakdown, list(bench_archive))
+    assert sum(bd.values()) == pytest.approx(1.0)
+    # Outages are the largest single share.
+    assert bd[EnvironmentSubtype.POWER_OUTAGE] == max(bd.values())
+    # Power problems (outage + spike + UPS) are the large majority.
+    power = (
+        bd[EnvironmentSubtype.POWER_OUTAGE]
+        + bd[EnvironmentSubtype.POWER_SPIKE]
+        + bd[EnvironmentSubtype.UPS]
+    )
+    assert power > 0.5
+    # Chillers and other-environment are the small remainder.
+    assert bd[EnvironmentSubtype.CHILLER] < 0.25
+    assert bd[EnvironmentSubtype.OTHER_ENV] < 0.30
+    print("\n[fig9] " + "  ".join(
+        f"{sub.value}:{share:.0%}" for sub, share in bd.items()
+    ))

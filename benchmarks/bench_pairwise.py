@@ -1,0 +1,55 @@
+"""Section III-A.3: the pairwise p(x, y) matrix.
+
+Paper targets: (a) "a failure always significantly increases the
+probability of a follow-up failure of the same type, and more so than a
+random failure" -- the diagonal dominates its column; (b) "significant
+correlations between network, environmental and software problems" --
+the six ENV/NET/SW off-diagonal factors sit above the typical
+cross-type level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.correlations import pairwise_matrix
+from repro.records.taxonomy import Category
+from repro.viz.matrix import cross_triangle_factors, render_pairwise_matrix
+
+
+def test_pairwise_matrix(benchmark, bench_group1):
+    cells = benchmark(pairwise_matrix, bench_group1)
+    by = {(c.trigger, c.target): c.comparison for c in cells}
+
+    # (a) every diagonal with enough data dominates its column.
+    for target in Category:
+        diag = by[(target, target)]
+        if diag.conditional.trials < 50:
+            continue
+        off = [
+            by[(trig, target)].factor
+            for trig in Category
+            if trig is not target
+            and not np.isnan(by[(trig, target)].factor)
+        ]
+        assert diag.factor >= max(off), target
+        assert diag.test.significant, target
+
+    # (b) the ENV/NET/SW triangle: its mean off-diagonal factor exceeds
+    # the mean of all remaining cross-type factors.
+    triangle = cross_triangle_factors(bench_group1)
+    tri_keys = set(triangle)
+    others = [
+        c.comparison.factor
+        for c in cells
+        if c.trigger is not c.target
+        and (c.trigger, c.target) not in tri_keys
+        and not np.isnan(c.comparison.factor)
+    ]
+    tri_vals = [v for v in triangle.values() if not np.isnan(v)]
+    assert np.mean(tri_vals) > np.mean(others)
+
+    print("\n" + render_pairwise_matrix(bench_group1))
+    print(
+        "[pairwise] ENV/NET/SW triangle mean "
+        f"{np.mean(tri_vals):.1f}x vs other cross-type {np.mean(others):.1f}x"
+    )

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+One archive is generated per benchmark session at a size where every
+injected effect is statistically visible (35% of LANL node counts, seven
+simulated years).  Every ``bench_*`` module reproduces one table or
+figure of the paper against it; the assertions encode the paper's
+*shape* (who wins, direction, rough factor), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.records.dataset import Archive, HardwareGroup
+from repro.simulate.archive import make_archive
+from repro.simulate.config import small_config
+
+#: Benchmark archive parameters, shared by EXPERIMENTS.md.
+BENCH_SEED = 42
+BENCH_YEARS = 7.0
+BENCH_SCALE = 0.35
+
+
+@pytest.fixture(scope="session")
+def bench_archive() -> Archive:
+    """The archive every figure/table benchmark runs against."""
+    return make_archive(
+        small_config(seed=BENCH_SEED, years=BENCH_YEARS, scale=BENCH_SCALE)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_group1(bench_archive):
+    return bench_archive.group(HardwareGroup.GROUP1)
+
+
+@pytest.fixture(scope="session")
+def bench_group2(bench_archive):
+    return bench_archive.group(HardwareGroup.GROUP2)

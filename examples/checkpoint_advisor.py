@@ -1,0 +1,96 @@
+"""Checkpoint-interval advisor: the paper's motivating application.
+
+Run:
+    python examples/checkpoint_advisor.py [archive-dir]
+
+Section III motivates failure-correlation analysis with checkpoint
+scheduling.  This example closes the loop: it fits a risk model from an
+archive's measured conditional probabilities, then shows how the optimal
+(Young/Daly) checkpoint interval should tighten after different kinds of
+failures -- e.g. after an environmental failure the model expects a
+follow-up within the week with ~50% probability, so a job should
+checkpoint far more aggressively than in quiet times.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import HardwareGroup, load_archive, quick_archive
+from repro.core.windows import Scope
+from repro.prediction.checkpoint import advise_after_failures
+from repro.prediction.risk import RecentFailure, RiskModel
+from repro.records.taxonomy import Category, format_label
+
+#: Checkpoint cost assumed for the illustration (15 minutes).
+CHECKPOINT_COST_HOURS = 0.25
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        archive = load_archive(Path(sys.argv[1]))
+    else:
+        print("generating a synthetic archive...")
+        archive = quick_archive(seed=5, years=5.0, scale=0.2)
+
+    systems = archive.group(HardwareGroup.GROUP1)
+    print(f"fitting risk model from {len(systems)} group-1 systems...")
+    model = RiskModel.fit(systems)
+    print(
+        f"baseline: P(node fails within a {model.horizon}) = "
+        f"{model.baseline:.2%}"
+    )
+
+    print("\nhighest-risk trigger events (factor over baseline):")
+    for scope, cat, factor in model.rank_factors()[:8]:
+        p = model.conditional[(scope, cat)]
+        print(
+            f"  {format_label(cat):<14s} at {scope.value:<6s} scope: "
+            f"{p:6.2%} ({factor:5.1f}X)"
+        )
+
+    print(
+        f"\ncheckpoint advice (checkpoint cost "
+        f"{CHECKPOINT_COST_HOURS * 60:.0f} min):"
+    )
+    scenarios: list[tuple[str, list[RecentFailure]]] = [
+        ("quiet node (no recent failures)", []),
+        (
+            "hardware failure on this node yesterday",
+            [RecentFailure(1.0, Category.HARDWARE, Scope.NODE)],
+        ),
+        (
+            "environmental failure on this node today",
+            [RecentFailure(0.0, Category.ENVIRONMENT, Scope.NODE)],
+        ),
+        (
+            "network failure on this node + rack neighbour failed",
+            [
+                RecentFailure(0.0, Category.NETWORK, Scope.NODE),
+                RecentFailure(0.5, Category.HARDWARE, Scope.RACK),
+            ],
+        ),
+        (
+            "failure elsewhere in the system 3 days ago",
+            [RecentFailure(3.0, Category.SOFTWARE, Scope.SYSTEM)],
+        ),
+    ]
+    for label, recent in scenarios:
+        advice = advise_after_failures(
+            model, recent, checkpoint_cost_hours=CHECKPOINT_COST_HOURS
+        )
+        print(
+            f"  {label:<52s} MTBF {advice.mtbf_hours:8.0f} h -> "
+            f"checkpoint every {advice.daly_hours:6.1f} h "
+            f"(efficiency {advice.efficiency_at_daly:.1%})"
+        )
+
+    print(
+        "\nthe paper's lesson: prediction models must account for "
+        "failure root causes, not just time/space correlation -- an ENV "
+        "or NET failure warrants far more aggressive checkpointing than "
+        "a HUMAN one."
+    )
+
+
+if __name__ == "__main__":
+    main()

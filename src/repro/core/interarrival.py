@@ -1,0 +1,172 @@
+"""Classical failure-process modeling: inter-arrival times.
+
+The paper's introduction contrasts its question-driven approach with
+prior work that "statistically model[s] the empirical distribution of
+the inter-arrival time between failures or analyz[es] the
+auto-correlation function of the observed sequence of failures".  This
+module supplies exactly that companion analysis so both lenses are
+available:
+
+* per-system (and per-node) inter-arrival samples;
+* ML fits of the four standard reliability distributions with AIC
+  selection and KS goodness of fit (:mod:`repro.stats.distfit`);
+* the hazard-rate verdict (Weibull shape < 1 = failures cluster --
+  which must agree with the paper's Section III correlations);
+* the autocorrelation function of the daily failure-count series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.dataset import SystemDataset
+from ..stats.correlation import CorrelationError, autocorrelation
+from ..stats.distfit import DistFitError, DistributionFit, fit_all
+
+
+class InterArrivalError(ValueError):
+    """Raised when a system has too few failures to model."""
+
+
+def interarrival_times(
+    ds: SystemDataset, node_id: int | None = None
+) -> np.ndarray:
+    """Inter-arrival times (days) between consecutive failures.
+
+    Args:
+        ds: the system.
+        node_id: restrict to one node's failures (None = system-wide).
+
+    Simultaneous records (identical timestamps, e.g. one outage hitting
+    many nodes) produce zero gaps, which the distribution fits cannot
+    accept; zero gaps are dropped and their count is meaningful data for
+    the caller (use :func:`simultaneity_share`).
+    """
+    table = ds.failure_table
+    times = table.times if node_id is None else table.times[
+        table.node_ids == node_id
+    ]
+    if times.size < 2:
+        raise InterArrivalError(
+            "need at least two failures to compute inter-arrival times"
+        )
+    gaps = np.diff(np.sort(times))
+    return gaps[gaps > 0]
+
+
+def simultaneity_share(ds: SystemDataset) -> float:
+    """Fraction of consecutive failure gaps that are exactly zero.
+
+    High values indicate correlated multi-node events (power outages)
+    rather than log noise.
+    """
+    times = ds.failure_table.times
+    if times.size < 2:
+        raise InterArrivalError("need at least two failures")
+    gaps = np.diff(np.sort(times))
+    return float((gaps == 0).mean())
+
+
+@dataclass(frozen=True, slots=True)
+class InterArrivalModel:
+    """Fitted inter-arrival model for one system.
+
+    Attributes:
+        system_id: the system.
+        n_gaps: number of positive inter-arrival gaps used.
+        fits: every family's fit, ordered by ascending AIC.
+        best: the AIC-best fit.
+        mean_gap_days: sample mean gap (the system-wide MTBF in days).
+        clustered: True when the fitted Weibull shape is below 1
+            (decreasing hazard) -- the classical signature of failure
+            clustering, which must agree with Section III.
+        daily_acf: autocorrelation of the daily failure-count series up
+            to 14 lags (None when the series is degenerate).
+    """
+
+    system_id: int
+    n_gaps: int
+    fits: tuple[DistributionFit, ...]
+    best: DistributionFit
+    mean_gap_days: float
+    clustered: bool
+    daily_acf: np.ndarray | None
+
+    def fit_for(self, family: str) -> DistributionFit:
+        """Look up one family's fit."""
+        for f in self.fits:
+            if f.family == family:
+                return f
+        raise InterArrivalError(f"no fit for family {family!r}")
+
+
+def fit_interarrival_model(
+    ds: SystemDataset, node_id: int | None = None
+) -> InterArrivalModel:
+    """Fit the classical inter-arrival model for one system (or node)."""
+    gaps = interarrival_times(ds, node_id=node_id)
+    try:
+        fits = fit_all(gaps)
+    except DistFitError as exc:
+        raise InterArrivalError(str(exc)) from exc
+    best = fits[0]
+    # Clustering verdict: the reliability-community convention is the
+    # Weibull shape parameter (< 1 = decreasing hazard = clustering),
+    # regardless of which family wins the AIC race -- e.g. heavily bursty
+    # data is often AIC-best fitted by a wide lognormal, whose hazard is
+    # non-monotone but whose process is clearly clustered.
+    weibull = next(f for f in fits if f.family == "weibull")
+    clustered = bool(weibull.decreasing_hazard)
+    acf = None
+    if node_id is None:
+        days = np.floor(ds.failure_table.times).astype(int)
+        n_days = int(np.ceil(ds.period.length))
+        series = np.bincount(days, minlength=n_days).astype(float)
+        try:
+            acf = autocorrelation(series, min(14, series.size - 1))
+        except CorrelationError:
+            acf = None
+    return InterArrivalModel(
+        system_id=ds.system_id,
+        n_gaps=int(gaps.size),
+        fits=tuple(fits),
+        best=best,
+        mean_gap_days=float(gaps.mean()),
+        clustered=clustered,
+        daily_acf=acf,
+    )
+
+
+def render_interarrival_report(model: InterArrivalModel) -> str:
+    """Text table of the fits, like prior-work papers report them."""
+    lines = [
+        f"system {model.system_id}: {model.n_gaps} inter-arrival gaps, "
+        f"mean {model.mean_gap_days:.3f} days",
+        f"{'family':<12s} {'AIC':>10s} {'KS':>7s} {'KS p':>8s} "
+        f"{'shape':>7s} {'hazard':>11s}",
+    ]
+    for f in model.fits:
+        shape = "-" if f.shape is None else f"{f.shape:.3f}"
+        if f.decreasing_hazard is None:
+            hazard = "non-monot."
+        elif f.decreasing_hazard:
+            hazard = "decreasing"
+        else:
+            hazard = "flat/incr."
+        lines.append(
+            f"{f.family:<12s} {f.aic:>10.1f} {f.ks_statistic:>7.3f} "
+            f"{f.ks_p_value:>8.3f} {shape:>7s} {hazard:>11s}"
+        )
+    lines.append(
+        "verdict: failures "
+        + ("CLUSTER (decreasing hazard)" if model.clustered else
+           "do not show decreasing hazard")
+    )
+    if model.daily_acf is not None and model.daily_acf.size > 1:
+        lines.append(
+            "daily-count autocorrelation (lags 1..7): "
+            + " ".join(f"{v:+.2f}" for v in model.daily_acf[1:8])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,337 @@
+"""Section IV: do some nodes in a system fail differently from others?
+
+* **IV-A / Figure 4** -- per-node failure counts and the chi-square test
+  that nodes do *not* fail at equal rates (99% confidence, with and
+  without the most failure-prone node);
+* **IV-B / Figure 5** -- root-cause breakdown of failure-prone nodes vs
+  the rest of the system;
+* **IV-B / Figure 6** -- per-failure-type day/week/month probabilities in
+  the prone node vs the rest, with factor increases and per-type
+  chi-square tests;
+* **IV-C** -- the machine-room-area hypothesis: grouping failures by
+  floor location and testing for area effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..records.dataset import SystemDataset
+from ..records.taxonomy import (
+    Category,
+    HardwareSubtype,
+    Subtype,
+    all_categories,
+)
+from ..records.timeutil import ALL_SPANS, Span
+from ..stats.contingency import (
+    ChiSquareResult,
+    PermutationTestResult,
+    equal_rates_test,
+    grouping_permutation_test,
+)
+from ..stats.proportion import TwoSampleResult, two_sample_z_test
+from .windows import Counts, baseline_counts, compare, WindowComparison
+
+
+class NodeAnalysisError(ValueError):
+    """Raised on invalid node-analysis inputs."""
+
+
+@dataclass(frozen=True, slots=True)
+class FailureCountResult:
+    """Figure 4 for one system: per-node failure counts and skew tests.
+
+    Attributes:
+        system_id: the system.
+        counts: failures per node (index = node id).
+        prone_node: node with the most failures.
+        prone_factor: prone node's count over the mean count.
+        equal_rates: chi-square test of "all nodes fail at equal rates".
+        equal_rates_without_prone: the same test with the prone node
+            removed (the paper still rejects it).
+    """
+
+    system_id: int
+    counts: np.ndarray
+    prone_node: int
+    prone_factor: float
+    equal_rates: ChiSquareResult
+    equal_rates_without_prone: ChiSquareResult | None
+
+
+def failures_per_node(ds: SystemDataset) -> FailureCountResult:
+    """Figure 4 / Section IV-A for one system.
+
+    The paper's systems 18/19/20 all have node 0 as the extreme outlier
+    (19X-30X the average node's count), and the equal-rates hypothesis is
+    rejected even after dropping it.
+    """
+    counts = ds.failure_counts_per_node()
+    if counts.sum() == 0:
+        raise NodeAnalysisError(
+            f"system {ds.system_id} has no failures; Figure 4 is undefined"
+        )
+    prone = int(counts.argmax())
+    mean = float(counts.mean())
+    test = equal_rates_test(counts)
+    without = None
+    if ds.num_nodes > 2:
+        rest = np.delete(counts, prone)
+        if rest.sum() > 0:
+            without = equal_rates_test(rest)
+    return FailureCountResult(
+        system_id=ds.system_id,
+        counts=counts,
+        prone_node=prone,
+        prone_factor=float(counts[prone]) / mean if mean > 0 else float("nan"),
+        equal_rates=test,
+        equal_rates_without_prone=without,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BreakdownComparison:
+    """Figure 5 for one system: root-cause shares, prone node vs rest.
+
+    Attributes:
+        system_id: the system.
+        prone_node: the failure-prone node compared against the rest.
+        prone_shares: fraction of the prone node's failures per category.
+        rest_shares: fraction of the remaining nodes' failures per
+            category.
+    """
+
+    system_id: int
+    prone_node: int
+    prone_shares: Mapping[Category, float]
+    rest_shares: Mapping[Category, float]
+
+    def dominant(self, prone: bool) -> Category:
+        """The dominant failure category of either population."""
+        shares = self.prone_shares if prone else self.rest_shares
+        return max(shares, key=lambda c: shares[c])
+
+
+def breakdown_comparison(
+    ds: SystemDataset, prone_node: int | None = None
+) -> BreakdownComparison:
+    """Figure 5: compare root-cause breakdowns, prone node vs the rest.
+
+    The paper's headline: in the prone nodes the dominant failure mode
+    shifts from hardware to software, with environment and network shares
+    also elevated.
+    """
+    if prone_node is None:
+        prone_node = failures_per_node(ds).prone_node
+    if not (0 <= prone_node < ds.num_nodes):
+        raise NodeAnalysisError(f"prone_node {prone_node} out of range")
+    table = ds.failure_table
+    prone_mask = table.node_ids == prone_node
+    prone_total = int(prone_mask.sum())
+    rest_total = len(table) - prone_total
+    if prone_total == 0 or rest_total == 0:
+        raise NodeAnalysisError(
+            "both the prone node and the rest must have failures to compare"
+        )
+    prone_shares = {}
+    rest_shares = {}
+    for cat in all_categories():
+        code = table.category_code(cat)
+        cat_mask = table.category_codes == code
+        prone_shares[cat] = float((cat_mask & prone_mask).sum()) / prone_total
+        rest_shares[cat] = float((cat_mask & ~prone_mask).sum()) / rest_total
+    return BreakdownComparison(
+        system_id=ds.system_id,
+        prone_node=prone_node,
+        prone_shares=prone_shares,
+        rest_shares=rest_shares,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ProneTypeCell:
+    """One Figure 6 bar pair: P(type failure in a window), prone vs rest.
+
+    Attributes:
+        system_id: the system.
+        kind: failure category or hardware subtype analysed.
+        span: window length (day/week/month).
+        prone: probability estimate for the prone node.
+        rest: probability estimate for the remaining nodes.
+        factor: prone / rest probability ratio (the figure annotation).
+        test: two-sample test of prone vs rest probabilities.
+    """
+
+    system_id: int
+    kind: Category | Subtype
+    span: Span
+    prone: Counts
+    rest: Counts
+    factor: float
+    test: TwoSampleResult
+
+
+def prone_type_probabilities(
+    ds: SystemDataset,
+    prone_node: int | None = None,
+    kinds: Sequence[Category | Subtype] | None = None,
+    spans: Sequence[Span] = ALL_SPANS,
+) -> list[ProneTypeCell]:
+    """Figure 6: per-type window probabilities, prone node vs the rest.
+
+    For each failure type and each span, computes the probability that
+    the prone node (resp. an average remaining node) experiences a
+    failure of that type in a random tiled window, with the factor
+    increase and a two-sample test.
+
+    The paper observes increases for every type, strongest for ENV
+    (~2000X) and NET (500-1000X), clear for SW (36-118X), modest for HW
+    (5-10X) and insignificant only for human errors.
+    """
+    if prone_node is None:
+        prone_node = failures_per_node(ds).prone_node
+    if kinds is None:
+        kinds = list(all_categories())
+    table = ds.failure_table
+    rest_nodes = np.array(
+        [n for n in range(ds.num_nodes) if n != prone_node], dtype=np.int64
+    )
+    if rest_nodes.size == 0:
+        raise NodeAnalysisError("need at least two nodes to compare")
+    cells = []
+    for kind in kinds:
+        cat = kind if isinstance(kind, Category) else None
+        sub = None if isinstance(kind, Category) else kind
+        times, nodes = table.select(category=cat, subtype=sub)
+        for span in spans:
+            prone_counts = baseline_counts(
+                times,
+                nodes,
+                ds.num_nodes,
+                ds.period,
+                span,
+                node_subset=np.array([prone_node]),
+            )
+            rest_counts = baseline_counts(
+                times, nodes, ds.num_nodes, ds.period, span, node_subset=rest_nodes
+            )
+            p_prone = prone_counts.estimate().value
+            p_rest = rest_counts.estimate().value
+            factor = p_prone / p_rest if p_rest > 0 else float("nan")
+            test = two_sample_z_test(
+                prone_counts.successes,
+                prone_counts.trials,
+                rest_counts.successes,
+                rest_counts.trials,
+            )
+            cells.append(
+                ProneTypeCell(
+                    system_id=ds.system_id,
+                    kind=kind,
+                    span=span,
+                    prone=prone_counts,
+                    rest=rest_counts,
+                    factor=factor,
+                    test=test,
+                )
+            )
+    return cells
+
+
+@dataclass(frozen=True, slots=True)
+class RoomAreaResult:
+    """Section IV-C: failures grouped by machine-room floor area.
+
+    Attributes:
+        system_id: the system.
+        area_counts: failures per floor cell ``(x, y)``.
+        area_nodes: node count per floor cell.
+        test: permutation test of "the spatial arrangement of per-node
+            counts over areas is random".  Per-node heterogeneity alone
+            (prone nodes, weak PSUs) must NOT trigger it -- only a real
+            location pattern does; the paper finds none.
+    """
+
+    system_id: int
+    area_counts: Mapping[tuple[int, int], int]
+    area_nodes: Mapping[tuple[int, int], int]
+    test: PermutationTestResult
+
+
+def room_area_analysis(
+    ds: SystemDataset, exclude_prone: bool = True
+) -> RoomAreaResult:
+    """Test whether some machine-room areas see more failures than others.
+
+    Uses the rack floor coordinates from the machine layout; expected
+    counts are proportional to the number of nodes in each area.
+
+    Args:
+        ds: a system with a machine layout.
+        exclude_prone: drop the single most failure-prone node before
+            testing (default True).  The paper's Section IV-C question is
+            whether *areas* are failure-prone beyond the known prone
+            nodes; leaving node 0 in simply rediscovers node 0's cell.
+    """
+    if ds.layout is None:
+        raise NodeAnalysisError(
+            f"system {ds.system_id} has no machine layout; the room-area "
+            "analysis needs one"
+        )
+    areas = ds.layout.room_areas()
+    if len(areas) < 2:
+        raise NodeAnalysisError("need at least two floor areas to compare")
+    per_node = ds.failure_counts_per_node().astype(float)
+    skip = {int(per_node.argmax())} if exclude_prone else set()
+    area_counts = {}
+    area_nodes = {}
+    for cell, nodes in areas.items():
+        kept = [n for n in nodes if n not in skip]
+        if not kept:
+            continue
+        area_counts[cell] = int(per_node[kept].sum())
+        area_nodes[cell] = len(kept)
+    if len(area_counts) < 2:
+        raise NodeAnalysisError("need at least two floor areas to compare")
+    node_counts = []
+    node_groups = []
+    for cell, nodes in areas.items():
+        for n in nodes:
+            if n in skip:
+                continue
+            node_counts.append(per_node[n])
+            node_groups.append(cell)
+    test = grouping_permutation_test(
+        np.asarray(node_counts),
+        np.asarray([f"{x},{y}" for x, y in node_groups]),
+        rng=np.random.default_rng(0),
+    )
+    return RoomAreaResult(
+        system_id=ds.system_id,
+        area_counts=area_counts,
+        area_nodes=area_nodes,
+        test=test,
+    )
+
+
+def per_type_equal_rates(
+    ds: SystemDataset, kinds: Sequence[Category] | None = None
+) -> dict[Category, ChiSquareResult | None]:
+    """Section IV-B's formal test, per failure type.
+
+    Chi-square equal-rates test across nodes for each category; the paper
+    rejects equal rates for every type except human errors.  Types with
+    no failures map to None.
+    """
+    table = ds.failure_table
+    out: dict[Category, ChiSquareResult | None] = {}
+    for cat in kinds or all_categories():
+        counts = np.zeros(ds.num_nodes, dtype=np.int64)
+        _, nodes = table.select(category=cat)
+        np.add.at(counts, nodes, 1)
+        out[cat] = equal_rates_test(counts) if counts.sum() > 0 else None
+    return out

@@ -1,0 +1,114 @@
+"""Section V: what is the effect of usage on a node's reliability?
+
+Correlates per-node usage metrics -- average utilization and total job
+count, derived from the job log -- with per-node failure counts
+(Figure 7), including the paper's key robustness check: the strong
+Pearson correlation (0.465 on system 8, 0.12 on system 20) is driven by
+node 0, and vanishes when node 0 is removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.dataset import SystemDataset
+from ..records.usage import NodeUsage, node_usage_summaries
+from ..stats.correlation import CorrelationError, CorrelationResult, pearson, spearman
+
+
+class UsageAnalysisError(ValueError):
+    """Raised when a system lacks the data the usage analysis needs."""
+
+
+@dataclass(frozen=True, slots=True)
+class UsageCorrelationResult:
+    """Figure 7 for one system.
+
+    Attributes:
+        system_id: the system.
+        node_ids: node ids (axis for the arrays below).
+        failures: per-node failure counts.
+        utilization: per-node average utilization in [0, 1].
+        num_jobs: per-node job counts.
+        jobs_pearson: Pearson r of (num_jobs, failures), all nodes.
+        jobs_pearson_without_prone: same with the most failure-prone
+            node removed (the paper's check that node 0 drives it).
+        util_pearson: Pearson r of (utilization, failures), all nodes.
+        util_pearson_without_prone: same without the prone node.
+        jobs_spearman: rank correlation of (num_jobs, failures) -- a
+            robustness companion not in the paper.
+        prone_node: the node excluded in the "without" variants.
+    """
+
+    system_id: int
+    node_ids: np.ndarray
+    failures: np.ndarray
+    utilization: np.ndarray
+    num_jobs: np.ndarray
+    jobs_pearson: CorrelationResult
+    jobs_pearson_without_prone: CorrelationResult | None
+    util_pearson: CorrelationResult
+    util_pearson_without_prone: CorrelationResult | None
+    jobs_spearman: CorrelationResult
+    prone_node: int
+
+
+def _drop(arr: np.ndarray, idx: int) -> np.ndarray:
+    return np.delete(arr, idx)
+
+
+def _safe_pearson(x: np.ndarray, y: np.ndarray) -> CorrelationResult | None:
+    try:
+        return pearson(x, y)
+    except CorrelationError:
+        return None
+
+
+def usage_failure_correlation(ds: SystemDataset) -> UsageCorrelationResult:
+    """Run the Figure 7 analysis on one system with a job log.
+
+    Raises :class:`UsageAnalysisError` when the system has no usage data
+    (at LANL only systems 8 and 20 have job logs).
+    """
+    if not ds.has_usage:
+        raise UsageAnalysisError(
+            f"system {ds.system_id} has no job log; Section V needs one"
+        )
+    summaries = node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)
+    failures = ds.failure_counts_per_node().astype(float)
+    utilization = np.array([s.utilization for s in summaries])
+    num_jobs = np.array([s.num_jobs for s in summaries], dtype=float)
+    prone = int(failures.argmax())
+
+    jobs_r = pearson(num_jobs, failures)
+    util_r = pearson(utilization, failures)
+    jobs_rank = spearman(num_jobs, failures)
+    jobs_r_wo = util_r_wo = None
+    if ds.num_nodes > 3:
+        jobs_r_wo = _safe_pearson(_drop(num_jobs, prone), _drop(failures, prone))
+        util_r_wo = _safe_pearson(_drop(utilization, prone), _drop(failures, prone))
+
+    return UsageCorrelationResult(
+        system_id=ds.system_id,
+        node_ids=np.arange(ds.num_nodes),
+        failures=failures,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        jobs_pearson=jobs_r,
+        jobs_pearson_without_prone=jobs_r_wo,
+        util_pearson=util_r,
+        util_pearson_without_prone=util_r_wo,
+        jobs_spearman=jobs_rank,
+        prone_node=prone,
+    )
+
+
+def node_usage(ds: SystemDataset) -> list[NodeUsage]:
+    """Per-node usage summaries for a system with a job log."""
+    if not ds.has_usage:
+        raise UsageAnalysisError(
+            f"system {ds.system_id} has no job log; cannot summarize usage"
+        )
+    return node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)

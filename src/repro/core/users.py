@@ -1,0 +1,88 @@
+"""Section VI: are some users more prone to node failures than others?
+
+For the 50 heaviest users (by processor-days), computes node-caused job
+failures per processor-day (Figure 8) and runs the paper's formal test:
+a saturated Poisson model (per-user rates) against a common-rate model,
+compared by ANOVA (likelihood-ratio test), significant at 99%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.dataset import SystemDataset
+from ..records.usage import UserUsage, heaviest_users
+from ..stats.anova import AnovaResult, saturated_vs_common_rate
+
+
+class UserAnalysisError(ValueError):
+    """Raised when the per-user analysis cannot run."""
+
+
+@dataclass(frozen=True, slots=True)
+class UserFailureResult:
+    """Figure 8 for one system.
+
+    Attributes:
+        system_id: the system.
+        users: the heaviest users analysed, ordered by processor-days
+            (each carries its failures-per-processor-day rate).
+        anova: saturated-vs-common-rate Poisson ANOVA over those users.
+        total_users: number of distinct users in the full job log.
+    """
+
+    system_id: int
+    users: tuple[UserUsage, ...]
+    anova: AnovaResult
+    total_users: int
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Failures per processor-day per analysed user (figure y-axis)."""
+        return np.array([u.failures_per_processor_day for u in self.users])
+
+    @property
+    def rate_spread(self) -> float:
+        """Max/min positive rate ratio -- a simple skew summary."""
+        rates = self.rates[self.rates > 0]
+        if rates.size < 2:
+            return float("nan")
+        return float(rates.max() / rates.min())
+
+
+def user_failure_rates(ds: SystemDataset, top_k: int = 50) -> UserFailureResult:
+    """Run the Figure 8 / Section VI analysis on one system.
+
+    Only job failures *caused by node failures* count (the job records'
+    ``failed_due_to_node`` flag) -- application crashes are excluded, so
+    the skew cannot be blamed on users' coding ability.
+
+    Raises :class:`UserAnalysisError` when the system has no job log or
+    no analysable users.
+    """
+    if not ds.has_usage:
+        raise UserAnalysisError(
+            f"system {ds.system_id} has no job log; Section VI needs one"
+        )
+    total_users = len({j.user_id for j in ds.jobs})
+    users = tuple(heaviest_users(ds.jobs, k=top_k))
+    usable = [u for u in users if u.processor_days > 0]
+    if len(usable) < 2:
+        raise UserAnalysisError(
+            "need at least two users with positive processor-days"
+        )
+    counts = np.array([u.node_failed_jobs for u in usable], dtype=float)
+    exposures = np.array([u.processor_days for u in usable])
+    if counts.sum() == 0:
+        raise UserAnalysisError(
+            "no node-caused job failures among the analysed users"
+        )
+    anova = saturated_vs_common_rate(counts, exposures)
+    return UserFailureResult(
+        system_id=ds.system_id,
+        users=tuple(usable),
+        anova=anova,
+        total_users=total_users,
+    )

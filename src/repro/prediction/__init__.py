@@ -1,0 +1,46 @@
+"""Applications built on the paper's findings.
+
+The paper motivates its correlation analysis with failure prediction and
+checkpoint scheduling; this subpackage delivers both:
+
+* :mod:`~repro.prediction.risk` -- a follow-up-failure risk model fitted
+  from the measured conditional probabilities;
+* :mod:`~repro.prediction.checkpoint` -- Young/Daly checkpoint-interval
+  advice, optionally risk-adjusted after recent failures.
+"""
+
+from .evaluation import (
+    EvaluationError,
+    RiskEvaluation,
+    evaluate_risk_model,
+    truncate_system,
+)
+from .checkpoint import (
+    CheckpointAdvice,
+    CheckpointError,
+    advise,
+    advise_after_failures,
+    daly_interval,
+    efficiency,
+    risk_adjusted_mtbf,
+    young_interval,
+)
+from .risk import RecentFailure, RiskModel, RiskModelError
+
+__all__ = [
+    "CheckpointAdvice",
+    "CheckpointError",
+    "EvaluationError",
+    "RiskEvaluation",
+    "RecentFailure",
+    "RiskModel",
+    "RiskModelError",
+    "advise",
+    "advise_after_failures",
+    "daly_interval",
+    "evaluate_risk_model",
+    "truncate_system",
+    "efficiency",
+    "risk_adjusted_mtbf",
+    "young_interval",
+]

@@ -1,0 +1,145 @@
+"""Checkpoint-interval advisor driven by the risk model.
+
+The paper motivates correlation analysis with checkpoint scheduling
+(Section III).  This module closes that loop: given a mean time between
+failures -- static, or dynamically adjusted by the
+:class:`~repro.prediction.risk.RiskModel` after recent failures -- it
+computes the optimal checkpoint interval with both the classic Young
+approximation and Daly's higher-order formula, and estimates the
+resulting execution efficiency.
+
+References:
+    J. W. Young, "A first order approximation to the optimum checkpoint
+    interval", CACM 1974.  J. T. Daly, "A higher order estimate of the
+    optimum checkpoint/restart interval", FGCS 2006.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..records.timeutil import Span
+from .risk import RecentFailure, RiskModel
+
+
+class CheckpointError(ValueError):
+    """Raised on invalid checkpoint parameters."""
+
+
+def young_interval(checkpoint_cost_hours: float, mtbf_hours: float) -> float:
+    """Young's first-order optimal interval: sqrt(2 * C * MTBF)."""
+    _check(checkpoint_cost_hours, mtbf_hours)
+    return math.sqrt(2.0 * checkpoint_cost_hours * mtbf_hours)
+
+
+def daly_interval(checkpoint_cost_hours: float, mtbf_hours: float) -> float:
+    """Daly's higher-order optimal interval.
+
+    For C < MTBF/2:  sqrt(2 C M) * (1 + sqrt(C/(2M))/3 + C/(9*2M)) - C;
+    otherwise the degenerate M (checkpoint continuously).
+    """
+    _check(checkpoint_cost_hours, mtbf_hours)
+    c, m = checkpoint_cost_hours, mtbf_hours
+    if c >= m / 2.0:
+        return m
+    ratio = c / (2.0 * m)
+    return math.sqrt(2.0 * c * m) * (
+        1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+    ) - c
+
+
+def _check(cost: float, mtbf: float) -> None:
+    if cost <= 0:
+        raise CheckpointError(f"checkpoint cost must be positive, got {cost}")
+    if mtbf <= 0:
+        raise CheckpointError(f"MTBF must be positive, got {mtbf}")
+
+
+def efficiency(
+    interval_hours: float,
+    checkpoint_cost_hours: float,
+    mtbf_hours: float,
+    restart_cost_hours: float = 0.0,
+) -> float:
+    """Expected fraction of time doing useful work.
+
+    First-order model: each interval pays the checkpoint cost, and each
+    failure (rate 1/MTBF) wastes on average half an interval plus the
+    restart cost.
+    """
+    if interval_hours <= 0:
+        raise CheckpointError(f"interval must be positive, got {interval_hours}")
+    _check(checkpoint_cost_hours, mtbf_hours)
+    if restart_cost_hours < 0:
+        raise CheckpointError("restart cost must be >= 0")
+    overhead = checkpoint_cost_hours / (interval_hours + checkpoint_cost_hours)
+    waste_per_failure = interval_hours / 2.0 + restart_cost_hours
+    failure_loss = waste_per_failure / mtbf_hours
+    return max(0.0, (1.0 - overhead) * (1.0 - min(failure_loss, 1.0)))
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointAdvice:
+    """One checkpoint recommendation.
+
+    Attributes:
+        mtbf_hours: the node MTBF the advice is based on.
+        young_hours: Young's interval.
+        daly_hours: Daly's interval.
+        efficiency_at_daly: expected useful-work fraction at the Daly
+            interval.
+    """
+
+    mtbf_hours: float
+    young_hours: float
+    daly_hours: float
+    efficiency_at_daly: float
+
+
+def advise(
+    checkpoint_cost_hours: float,
+    mtbf_hours: float,
+    restart_cost_hours: float = 0.0,
+) -> CheckpointAdvice:
+    """Compute checkpoint advice for a given MTBF."""
+    y = young_interval(checkpoint_cost_hours, mtbf_hours)
+    d = daly_interval(checkpoint_cost_hours, mtbf_hours)
+    return CheckpointAdvice(
+        mtbf_hours=mtbf_hours,
+        young_hours=y,
+        daly_hours=d,
+        efficiency_at_daly=efficiency(
+            d, checkpoint_cost_hours, mtbf_hours, restart_cost_hours
+        ),
+    )
+
+
+def risk_adjusted_mtbf(
+    model: RiskModel,
+    recent: list[RecentFailure],
+) -> float:
+    """Node MTBF (hours) implied by the risk model given recent history.
+
+    Converts P(failure within the model's horizon) into a constant-hazard
+    MTBF: ``MTBF = horizon / -ln(1 - p)``.  After a failure, the risk
+    model's elevated probability shrinks the MTBF, so the advisor
+    recommends checkpointing more aggressively -- the paper's operational
+    takeaway from its correlation findings.
+    """
+    p = model.score(recent)
+    if p <= 0:
+        raise CheckpointError("risk model produced a zero failure probability")
+    horizon_hours = model.horizon.days * 24.0
+    return horizon_hours / (-math.log(max(1.0 - p, 1e-12)))
+
+
+def advise_after_failures(
+    model: RiskModel,
+    recent: list[RecentFailure],
+    checkpoint_cost_hours: float,
+    restart_cost_hours: float = 0.0,
+) -> CheckpointAdvice:
+    """Checkpoint advice conditioned on the node's recent failure history."""
+    mtbf = risk_adjusted_mtbf(model, recent)
+    return advise(checkpoint_cost_hours, mtbf, restart_cost_hours)

@@ -1,0 +1,151 @@
+"""Follow-up-failure risk scoring.
+
+The paper motivates its correlation study with failure prediction:
+"it helps in the prediction of failures, which is useful, for example,
+for scheduling application checkpoints or for designing job migration
+strategies" (Section III), and its lessons-learned stress that predictive
+models "should not only account for correlations between failures in
+time and space, but also consider the root-causes of failures".
+
+:class:`RiskModel` operationalises exactly that: it is *fitted* from an
+archive by running the paper's own conditional-probability analyses
+(per-trigger-type, per-scope), and then *scores* a node's probability of
+failing within a horizon given the recent failure history of the node,
+its rack and its system.  Probabilities combine under an independent-
+hazard approximation: each recent event contributes the excess hazard
+implied by its measured conditional probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..records.dataset import SystemDataset
+from ..records.taxonomy import Category, all_categories
+from ..records.timeutil import Span
+from ..core.correlations import (
+    pooled_baseline,
+    pooled_conditional,
+)
+from ..core.windows import Scope
+
+
+class RiskModelError(ValueError):
+    """Raised on invalid risk-model construction or queries."""
+
+
+@dataclass(frozen=True, slots=True)
+class RecentFailure:
+    """One recent failure fed to the scorer.
+
+    Attributes:
+        age_days: how long ago it happened (>= 0).
+        category: its root-cause category.
+        scope: where it happened relative to the node being scored --
+            NODE (the node itself), RACK (a rack neighbour), SYSTEM
+            (elsewhere in the system).
+    """
+
+    age_days: float
+    category: Category
+    scope: Scope
+
+    def __post_init__(self) -> None:
+        if self.age_days < 0:
+            raise RiskModelError(f"age_days must be >= 0, got {self.age_days}")
+
+
+@dataclass(frozen=True)
+class RiskModel:
+    """Conditional-probability risk model fitted from an archive.
+
+    Attributes:
+        horizon: prediction window the probabilities refer to.
+        baseline: P(node fails within horizon) unconditionally.
+        conditional: per (scope, trigger category) probability of a node
+            failure within the horizon of such a trigger.
+    """
+
+    horizon: Span
+    baseline: float
+    conditional: Mapping[tuple[Scope, Category], float] = field(default_factory=dict)
+
+    @classmethod
+    def fit(
+        cls,
+        systems: Sequence[SystemDataset],
+        horizon: Span = Span.WEEK,
+        scopes: Sequence[Scope] = (Scope.NODE, Scope.RACK, Scope.SYSTEM),
+    ) -> "RiskModel":
+        """Fit the model by measuring the paper's conditional probabilities.
+
+        Rack-scope probabilities are only fitted when at least one system
+        has a machine layout.
+        """
+        if not systems:
+            raise RiskModelError("need at least one system to fit")
+        base = pooled_baseline(systems, horizon).estimate().value
+        conditional: dict[tuple[Scope, Category], float] = {}
+        for scope in scopes:
+            if scope is Scope.RACK and not any(ds.has_layout for ds in systems):
+                continue
+            for cat in all_categories():
+                counts = pooled_conditional(
+                    systems, horizon, trigger_category=cat, scope=scope
+                )
+                est = counts.estimate()
+                if est.defined:
+                    conditional[(scope, cat)] = est.value
+        return cls(horizon=horizon, baseline=base, conditional=conditional)
+
+    def _excess_hazard(self, event: RecentFailure) -> float:
+        """Excess hazard contributed by one recent event.
+
+        The measured conditional probability p_c implies a total hazard
+        ``-ln(1 - p_c)`` over the horizon following the trigger; the
+        baseline accounts for ``-ln(1 - p_b)`` of it.  Events older than
+        the horizon contribute nothing (their measured window has
+        passed); younger events contribute the remaining fraction of
+        their window, assuming uniform hazard within it.
+        """
+        p_c = self.conditional.get((event.scope, event.category))
+        if p_c is None:
+            return 0.0
+        horizon_days = self.horizon.days
+        if event.age_days >= horizon_days:
+            return 0.0
+        h_total = -math.log(max(1.0 - p_c, 1e-12))
+        h_base = -math.log(max(1.0 - self.baseline, 1e-12))
+        excess = max(h_total - h_base, 0.0)
+        remaining = 1.0 - event.age_days / horizon_days
+        return excess * remaining
+
+    def score(self, recent: Sequence[RecentFailure] = ()) -> float:
+        """P(the node fails within the horizon), given recent history.
+
+        With no recent events this is the baseline.  Multiple events
+        combine additively in hazard space (independent contributions),
+        so the result is always a valid probability in (0, 1).
+        """
+        hazard = -math.log(max(1.0 - self.baseline, 1e-12))
+        for event in recent:
+            hazard += self._excess_hazard(event)
+        return 1.0 - math.exp(-hazard)
+
+    def rank_factors(self) -> list[tuple[Scope, Category, float]]:
+        """Trigger types ranked by factor over baseline (descending).
+
+        Reproduces the paper's operator guidance: which events should
+        put an operator on alert (ENV and NET at node scope top the
+        list).
+        """
+        if self.baseline <= 0:
+            raise RiskModelError("baseline probability is zero; cannot rank")
+        ranked = [
+            (scope, cat, p / self.baseline)
+            for (scope, cat), p in self.conditional.items()
+        ]
+        ranked.sort(key=lambda t: t[2], reverse=True)
+        return ranked

@@ -1,0 +1,188 @@
+"""Environmental measurement record types.
+
+Two kinds of environmental time series feed the paper's analyses:
+
+* **Temperature readings** (Section VIII, X): periodic motherboard-sensor
+  samples, available for LANL system 20.  Per-node aggregates (average,
+  maximum, variance, number of severe high-temperature warnings) become
+  regression inputs in Table I.
+* **Neutron counts** (Section IX): 1-minute-resolution counts from the
+  Climax, Colorado neutron-monitor station, aggregated to monthly average
+  counts-per-minute for Figure 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .timeutil import ObservationPeriod, Span, window_index
+
+
+class EnvironmentRecordError(ValueError):
+    """Raised when an environmental record is invalid."""
+
+
+#: The severe-temperature threshold used for the ``num_hightemp`` regression
+#: variable in Table I: a reading above 40 degrees Celsius counts as a severe
+#: temperature warning.
+HIGH_TEMP_THRESHOLD_C = 40.0
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TemperatureReading:
+    """One motherboard-sensor temperature sample.
+
+    Attributes:
+        time: sample time in days since observation start.
+        system_id: system the node belongs to.
+        node_id: the sampled node.
+        celsius: ambient temperature reported by the sensor.
+    """
+
+    time: float
+    system_id: int
+    node_id: int
+    celsius: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise EnvironmentRecordError(f"time must be >= 0, got {self.time}")
+        if self.node_id < 0:
+            raise EnvironmentRecordError(f"node_id must be >= 0, got {self.node_id}")
+        if not math.isfinite(self.celsius):
+            raise EnvironmentRecordError(f"non-finite temperature {self.celsius!r}")
+        if not (-50.0 <= self.celsius <= 150.0):
+            raise EnvironmentRecordError(
+                f"temperature {self.celsius} C outside plausible sensor range"
+            )
+
+    @property
+    def is_severe(self) -> bool:
+        """True if the reading exceeds the severe-temperature threshold."""
+        return self.celsius > HIGH_TEMP_THRESHOLD_C
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTemperatureSummary:
+    """Per-node aggregate of temperature readings (Table I variables).
+
+    Attributes:
+        node_id: the node.
+        avg_temp: mean of all readings (``avg_temp`` in Table I).
+        max_temp: maximum reading (``max_temp``).
+        temp_var: population variance of readings (``temp_var``).
+        num_hightemp: number of severe warnings, i.e. readings above
+            40 C (``num_hightemp``).
+        num_readings: total number of samples the aggregate is based on.
+    """
+
+    node_id: int
+    avg_temp: float
+    max_temp: float
+    temp_var: float
+    num_hightemp: int
+    num_readings: int
+
+
+def summarize_temperatures(
+    readings: Iterable[TemperatureReading],
+    num_nodes: int,
+) -> list[NodeTemperatureSummary]:
+    """Aggregate raw readings into per-node Table-I temperature variables.
+
+    Nodes with no readings get NaN aggregates and zero counts; regression
+    code drops or imputes them explicitly rather than silently.
+    """
+    if num_nodes < 1:
+        raise EnvironmentRecordError(f"num_nodes must be >= 1, got {num_nodes}")
+    samples: list[list[float]] = [[] for _ in range(num_nodes)]
+    for r in readings:
+        if r.node_id >= num_nodes:
+            raise EnvironmentRecordError(
+                f"reading references node {r.node_id} but the system has "
+                f"only {num_nodes} nodes"
+            )
+        samples[r.node_id].append(r.celsius)
+    out = []
+    for node in range(num_nodes):
+        vals = np.asarray(samples[node], dtype=float)
+        if vals.size == 0:
+            out.append(
+                NodeTemperatureSummary(
+                    node_id=node,
+                    avg_temp=float("nan"),
+                    max_temp=float("nan"),
+                    temp_var=float("nan"),
+                    num_hightemp=0,
+                    num_readings=0,
+                )
+            )
+            continue
+        out.append(
+            NodeTemperatureSummary(
+                node_id=node,
+                avg_temp=float(vals.mean()),
+                max_temp=float(vals.max()),
+                temp_var=float(vals.var()),
+                num_hightemp=int((vals > HIGH_TEMP_THRESHOLD_C).sum()),
+                num_readings=int(vals.size),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NeutronReading:
+    """One neutron-monitor sample (counts per minute).
+
+    Attributes:
+        time: sample time in days since observation start.
+        counts_per_minute: high-energy neutron counts per minute at the
+            monitor station.
+    """
+
+    time: float
+    counts_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise EnvironmentRecordError(f"time must be >= 0, got {self.time}")
+        if not math.isfinite(self.counts_per_minute) or self.counts_per_minute < 0:
+            raise EnvironmentRecordError(
+                f"counts_per_minute must be finite and >= 0, got "
+                f"{self.counts_per_minute!r}"
+            )
+
+
+def monthly_neutron_averages(
+    readings: Sequence[NeutronReading],
+    period: ObservationPeriod,
+) -> np.ndarray:
+    """Average counts-per-minute per tiled month of the observation period.
+
+    Months with no samples get NaN.  This is the x-axis of Figure 14.
+
+    Returns:
+        Array of length ``count_windows(period, MONTH)``.
+    """
+    from .timeutil import count_windows  # local import avoids cycle confusion
+
+    n_months = count_windows(period, Span.MONTH)
+    if not readings:
+        return np.full(n_months, np.nan)
+    times = np.array([r.time for r in readings], dtype=float)
+    counts = np.array([r.counts_per_minute for r in readings], dtype=float)
+    idx = window_index(times, period, Span.MONTH)
+    sums = np.zeros(n_months)
+    nums = np.zeros(n_months)
+    valid = idx >= 0
+    np.add.at(sums, idx[valid], counts[valid])
+    np.add.at(nums, idx[valid], 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = sums / nums
+    means[nums == 0] = np.nan
+    return means

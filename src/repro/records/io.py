@@ -1,0 +1,414 @@
+"""On-disk archive format: LANL-style CSV files.
+
+The public LANL release ships per-system CSV tables.  We mirror that
+layout so the toolkit can be pointed at a directory tree and load a full
+:class:`~repro.records.dataset.Archive`::
+
+    archive-root/
+      systems.csv                   one row per system (id, group, nodes, ...)
+      neutrons.csv                  site-wide neutron monitor series
+      system-<id>/
+        failures.csv                node outages
+        maintenance.csv             unscheduled maintenance events
+        jobs.csv                    usage log (only if available)
+        temperatures.csv            sensor readings (only if available)
+        layout.csv                  machine layout (only if available)
+
+All files carry a header row; fields are comma-separated; times are
+fractional days since the system's observation start.  Writers emit
+deterministic, sorted output so archives diff cleanly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .dataset import Archive, DatasetError, HardwareGroup, SystemDataset
+from .environment import NeutronReading, TemperatureReading
+from .failure import FailureRecord, MaintenanceRecord
+from .layout import MachineLayout, NodePlacement
+from .taxonomy import Category, Subtype, parse_category, parse_subtype
+from .timeutil import ObservationPeriod
+from .usage import JobRecord
+
+
+class ArchiveIOError(ValueError):
+    """Raised on malformed archive files."""
+
+
+_SYSTEMS_HEADER = [
+    "system_id",
+    "group",
+    "num_nodes",
+    "processors_per_node",
+    "period_start",
+    "period_end",
+]
+_FAILURES_HEADER = [
+    "time",
+    "node_id",
+    "category",
+    "subtype",
+    "downtime_hours",
+]
+_MAINTENANCE_HEADER = ["time", "node_id", "hardware_related", "duration_hours"]
+_JOBS_HEADER = [
+    "job_id",
+    "submit_time",
+    "dispatch_time",
+    "end_time",
+    "user_id",
+    "num_processors",
+    "node_ids",
+    "failed_due_to_node",
+]
+_TEMPERATURES_HEADER = ["time", "node_id", "celsius"]
+_LAYOUT_HEADER = ["node_id", "rack_id", "position_in_rack", "room_x", "room_y"]
+_NEUTRONS_HEADER = ["time", "counts_per_minute"]
+
+
+def _open_rows(path: Path, expected_header: list[str]) -> list[dict[str, str]]:
+    """Read a CSV file, validating its header; returns row dicts."""
+    if not path.exists():
+        raise ArchiveIOError(f"missing archive file {path}")
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != expected_header:
+            raise ArchiveIOError(
+                f"{path}: expected header {expected_header}, got "
+                f"{reader.fieldnames}"
+            )
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if any(v is None for v in row.values()):
+                raise ArchiveIOError(f"{path}:{lineno}: short row")
+            rows.append(row)
+        return rows
+
+
+def _parse_float(path: Path, row_no: int, field: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise ArchiveIOError(
+            f"{path}:{row_no}: field {field!r} is not a number: {value!r}"
+        ) from exc
+
+
+def _parse_int(path: Path, row_no: int, field: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ArchiveIOError(
+            f"{path}:{row_no}: field {field!r} is not an integer: {value!r}"
+        ) from exc
+
+
+def _parse_bool(path: Path, row_no: int, field: str, value: str) -> bool:
+    if value in ("0", "1"):
+        return value == "1"
+    raise ArchiveIOError(
+        f"{path}:{row_no}: field {field!r} must be 0 or 1, got {value!r}"
+    )
+
+
+def write_failures(path: Path, failures: Sequence[FailureRecord]) -> None:
+    """Write a failure log to ``failures.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_FAILURES_HEADER)
+        for f in sorted(failures):
+            w.writerow(
+                [
+                    f"{f.time:.6f}",
+                    f.node_id,
+                    f.category.value,
+                    f.subtype.value if f.subtype is not None else "",
+                    f"{f.downtime_hours:.3f}",
+                ]
+            )
+
+
+def read_failures(path: Path, system_id: int) -> list[FailureRecord]:
+    """Read a ``failures.csv`` file for one system."""
+    out = []
+    for i, row in enumerate(_open_rows(path, _FAILURES_HEADER), start=2):
+        subtype: Subtype | None = None
+        if row["subtype"]:
+            subtype = parse_subtype(row["subtype"])
+        out.append(
+            FailureRecord(
+                time=_parse_float(path, i, "time", row["time"]),
+                system_id=system_id,
+                node_id=_parse_int(path, i, "node_id", row["node_id"]),
+                category=parse_category(row["category"]),
+                subtype=subtype,
+                downtime_hours=_parse_float(
+                    path, i, "downtime_hours", row["downtime_hours"]
+                ),
+            )
+        )
+    return out
+
+
+def write_maintenance(path: Path, events: Sequence[MaintenanceRecord]) -> None:
+    """Write a maintenance log to ``maintenance.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_MAINTENANCE_HEADER)
+        for m in sorted(events):
+            w.writerow(
+                [
+                    f"{m.time:.6f}",
+                    m.node_id,
+                    int(m.hardware_related),
+                    f"{m.duration_hours:.3f}",
+                ]
+            )
+
+
+def read_maintenance(path: Path, system_id: int) -> list[MaintenanceRecord]:
+    """Read a ``maintenance.csv`` file for one system."""
+    out = []
+    for i, row in enumerate(_open_rows(path, _MAINTENANCE_HEADER), start=2):
+        out.append(
+            MaintenanceRecord(
+                time=_parse_float(path, i, "time", row["time"]),
+                system_id=system_id,
+                node_id=_parse_int(path, i, "node_id", row["node_id"]),
+                hardware_related=_parse_bool(
+                    path, i, "hardware_related", row["hardware_related"]
+                ),
+                duration_hours=_parse_float(
+                    path, i, "duration_hours", row["duration_hours"]
+                ),
+            )
+        )
+    return out
+
+
+def write_jobs(path: Path, jobs: Sequence[JobRecord]) -> None:
+    """Write a usage log to ``jobs.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_JOBS_HEADER)
+        for j in sorted(jobs):
+            w.writerow(
+                [
+                    j.job_id,
+                    f"{j.submit_time:.6f}",
+                    f"{j.dispatch_time:.6f}",
+                    f"{j.end_time:.6f}",
+                    j.user_id,
+                    j.num_processors,
+                    ";".join(str(n) for n in j.node_ids),
+                    int(j.failed_due_to_node),
+                ]
+            )
+
+
+def read_jobs(path: Path, system_id: int) -> list[JobRecord]:
+    """Read a ``jobs.csv`` file for one system."""
+    out = []
+    for i, row in enumerate(_open_rows(path, _JOBS_HEADER), start=2):
+        raw_nodes = row["node_ids"]
+        if not raw_nodes:
+            raise ArchiveIOError(f"{path}:{i}: empty node_ids")
+        node_ids = tuple(
+            _parse_int(path, i, "node_ids", tok) for tok in raw_nodes.split(";")
+        )
+        out.append(
+            JobRecord(
+                submit_time=_parse_float(path, i, "submit_time", row["submit_time"]),
+                system_id=system_id,
+                job_id=_parse_int(path, i, "job_id", row["job_id"]),
+                dispatch_time=_parse_float(
+                    path, i, "dispatch_time", row["dispatch_time"]
+                ),
+                end_time=_parse_float(path, i, "end_time", row["end_time"]),
+                user_id=_parse_int(path, i, "user_id", row["user_id"]),
+                num_processors=_parse_int(
+                    path, i, "num_processors", row["num_processors"]
+                ),
+                node_ids=node_ids,
+                failed_due_to_node=_parse_bool(
+                    path, i, "failed_due_to_node", row["failed_due_to_node"]
+                ),
+            )
+        )
+    return out
+
+
+def write_temperatures(path: Path, readings: Sequence[TemperatureReading]) -> None:
+    """Write temperature readings to ``temperatures.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_TEMPERATURES_HEADER)
+        for r in sorted(readings):
+            w.writerow([f"{r.time:.6f}", r.node_id, f"{r.celsius:.3f}"])
+
+
+def read_temperatures(path: Path, system_id: int) -> list[TemperatureReading]:
+    """Read a ``temperatures.csv`` file for one system."""
+    out = []
+    for i, row in enumerate(_open_rows(path, _TEMPERATURES_HEADER), start=2):
+        out.append(
+            TemperatureReading(
+                time=_parse_float(path, i, "time", row["time"]),
+                system_id=system_id,
+                node_id=_parse_int(path, i, "node_id", row["node_id"]),
+                celsius=_parse_float(path, i, "celsius", row["celsius"]),
+            )
+        )
+    return out
+
+
+def write_layout(path: Path, layout: MachineLayout) -> None:
+    """Write a machine layout to ``layout.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_LAYOUT_HEADER)
+        for node_id in layout.node_ids:
+            p = layout.placement(node_id)
+            w.writerow(
+                [p.node_id, p.rack_id, p.position_in_rack, p.room_x, p.room_y]
+            )
+
+
+def read_layout(path: Path) -> MachineLayout:
+    """Read a ``layout.csv`` file."""
+    placements = []
+    for i, row in enumerate(_open_rows(path, _LAYOUT_HEADER), start=2):
+        placements.append(
+            NodePlacement(
+                node_id=_parse_int(path, i, "node_id", row["node_id"]),
+                rack_id=_parse_int(path, i, "rack_id", row["rack_id"]),
+                position_in_rack=_parse_int(
+                    path, i, "position_in_rack", row["position_in_rack"]
+                ),
+                room_x=_parse_int(path, i, "room_x", row["room_x"]),
+                room_y=_parse_int(path, i, "room_y", row["room_y"]),
+            )
+        )
+    return MachineLayout(placements)
+
+
+def write_neutrons(path: Path, readings: Sequence[NeutronReading]) -> None:
+    """Write the neutron monitor series to ``neutrons.csv`` format."""
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_NEUTRONS_HEADER)
+        for r in sorted(readings):
+            w.writerow([f"{r.time:.6f}", f"{r.counts_per_minute:.3f}"])
+
+
+def read_neutrons(path: Path) -> list[NeutronReading]:
+    """Read a ``neutrons.csv`` file."""
+    out = []
+    for i, row in enumerate(_open_rows(path, _NEUTRONS_HEADER), start=2):
+        out.append(
+            NeutronReading(
+                time=_parse_float(path, i, "time", row["time"]),
+                counts_per_minute=_parse_float(
+                    path, i, "counts_per_minute", row["counts_per_minute"]
+                ),
+            )
+        )
+    return out
+
+
+def save_archive(archive: Archive, root: Path | str) -> None:
+    """Persist an :class:`Archive` to a directory tree.
+
+    Creates ``root`` (and parents) if needed; overwrites existing files.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    with (root / "systems.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_SYSTEMS_HEADER)
+        for ds in archive:
+            w.writerow(
+                [
+                    ds.system_id,
+                    ds.group.value,
+                    ds.num_nodes,
+                    ds.processors_per_node,
+                    f"{ds.period.start:.6f}",
+                    f"{ds.period.end:.6f}",
+                ]
+            )
+    write_neutrons(root / "neutrons.csv", archive.neutron_series)
+    for ds in archive:
+        sysdir = root / f"system-{ds.system_id}"
+        sysdir.mkdir(exist_ok=True)
+        write_failures(sysdir / "failures.csv", ds.failures)
+        write_maintenance(sysdir / "maintenance.csv", ds.maintenance)
+        if ds.jobs:
+            write_jobs(sysdir / "jobs.csv", ds.jobs)
+        if ds.temperatures:
+            write_temperatures(sysdir / "temperatures.csv", ds.temperatures)
+        if ds.layout is not None:
+            write_layout(sysdir / "layout.csv", ds.layout)
+
+
+def load_archive(root: Path | str) -> Archive:
+    """Load an :class:`Archive` from a directory tree written by
+    :func:`save_archive` (or laid out by hand in the same format)."""
+    root = Path(root)
+    systems_path = root / "systems.csv"
+    systems = []
+    for i, row in enumerate(_open_rows(systems_path, _SYSTEMS_HEADER), start=2):
+        system_id = _parse_int(systems_path, i, "system_id", row["system_id"])
+        try:
+            group = HardwareGroup(row["group"])
+        except ValueError as exc:
+            raise ArchiveIOError(
+                f"{systems_path}:{i}: unknown group {row['group']!r}"
+            ) from exc
+        period = ObservationPeriod(
+            start=_parse_float(systems_path, i, "period_start", row["period_start"]),
+            end=_parse_float(systems_path, i, "period_end", row["period_end"]),
+        )
+        sysdir = root / f"system-{system_id}"
+        failures = read_failures(sysdir / "failures.csv", system_id)
+        maintenance = read_maintenance(sysdir / "maintenance.csv", system_id)
+        jobs_path = sysdir / "jobs.csv"
+        jobs = read_jobs(jobs_path, system_id) if jobs_path.exists() else []
+        temps_path = sysdir / "temperatures.csv"
+        temps = (
+            read_temperatures(temps_path, system_id) if temps_path.exists() else []
+        )
+        layout_path = sysdir / "layout.csv"
+        layout = read_layout(layout_path) if layout_path.exists() else None
+        try:
+            systems.append(
+                SystemDataset(
+                    system_id=system_id,
+                    group=group,
+                    num_nodes=_parse_int(
+                        systems_path, i, "num_nodes", row["num_nodes"]
+                    ),
+                    processors_per_node=_parse_int(
+                        systems_path,
+                        i,
+                        "processors_per_node",
+                        row["processors_per_node"],
+                    ),
+                    period=period,
+                    failures=tuple(failures),
+                    maintenance=tuple(maintenance),
+                    jobs=tuple(jobs),
+                    temperatures=tuple(temps),
+                    layout=layout,
+                )
+            )
+        except DatasetError as exc:
+            raise ArchiveIOError(
+                f"inconsistent data for system {system_id}: {exc}"
+            ) from exc
+    neutrons_path = root / "neutrons.csv"
+    neutrons = read_neutrons(neutrons_path) if neutrons_path.exists() else []
+    return Archive(systems, neutron_series=neutrons)

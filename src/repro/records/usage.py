@@ -1,0 +1,228 @@
+"""Job-log record types and per-node usage summaries.
+
+The LANL usage logs (available for systems 8 and 20) record, per job:
+submission time, dispatch time, end time, the number of requested
+processors, the submitting user and the node(s) the job ran on.  The
+paper uses them to derive two per-node usage metrics (Section V):
+
+* **utilization** -- the fraction of time at least one job is assigned to
+  the node;
+* **number of jobs** -- how many jobs were scheduled on the node over its
+  lifetime;
+
+and a per-user metric (Section VI): failures experienced per processor-day
+of usage, restricted to job failures caused by node failures (not
+application bugs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .timeutil import ObservationPeriod
+
+
+class UsageError(ValueError):
+    """Raised when a job record is internally inconsistent."""
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class JobRecord:
+    """One job in a system's usage log.
+
+    Ordering is by ``(submit_time, system_id, job_id)``.
+
+    Attributes:
+        submit_time: when the job entered the queue (days).
+        system_id: system the job ran on.
+        job_id: unique job identifier within the system.
+        dispatch_time: when the job started running (days).
+        end_time: when the job finished or was killed (days).
+        user_id: numeric identifier of the submitting user.
+        num_processors: processors requested by the job.
+        node_ids: nodes the job was assigned to.
+        failed_due_to_node: True when the job died because an underlying
+            node failed (the only kind of job failure Section VI counts).
+    """
+
+    submit_time: float
+    system_id: int
+    job_id: int
+    dispatch_time: float = field(compare=False)
+    end_time: float = field(compare=False)
+    user_id: int = field(compare=False)
+    num_processors: int = field(compare=False)
+    node_ids: tuple[int, ...] = field(compare=False)
+    failed_due_to_node: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise UsageError(f"submit_time must be >= 0, got {self.submit_time}")
+        if self.dispatch_time < self.submit_time:
+            raise UsageError(
+                f"dispatch_time {self.dispatch_time} precedes submit_time "
+                f"{self.submit_time}"
+            )
+        if self.end_time < self.dispatch_time:
+            raise UsageError(
+                f"end_time {self.end_time} precedes dispatch_time "
+                f"{self.dispatch_time}"
+            )
+        if self.num_processors < 1:
+            raise UsageError(
+                f"num_processors must be >= 1, got {self.num_processors}"
+            )
+        if not self.node_ids:
+            raise UsageError("a job must be assigned to at least one node")
+        if any(n < 0 for n in self.node_ids):
+            raise UsageError(f"negative node id in {self.node_ids!r}")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise UsageError(f"duplicate node ids in {self.node_ids!r}")
+
+    @property
+    def runtime_days(self) -> float:
+        """Wall-clock runtime of the job in days."""
+        return self.end_time - self.dispatch_time
+
+    @property
+    def processor_days(self) -> float:
+        """Processor-days consumed by the job (runtime x processors)."""
+        return self.runtime_days * self.num_processors
+
+
+@dataclass(frozen=True, slots=True)
+class NodeUsage:
+    """Per-node usage summary derived from a job log.
+
+    Attributes:
+        node_id: the node.
+        num_jobs: number of jobs that were scheduled on the node.
+        utilization: fraction of the observation period during which at
+            least one job was assigned to the node, in ``[0, 1]``.
+        busy_days: absolute busy time in days (``utilization * period``).
+    """
+
+    node_id: int
+    num_jobs: int
+    utilization: float
+    busy_days: float
+
+
+def _merged_busy_time(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``[start, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    total += cur_hi - cur_lo
+    return total
+
+
+def node_usage_summaries(
+    jobs: Iterable[JobRecord],
+    num_nodes: int,
+    period: ObservationPeriod,
+) -> list[NodeUsage]:
+    """Compute per-node usage summaries for every node of a system.
+
+    A node is *utilized* at time t if at least one job is assigned to it
+    (the paper's definition); overlapping job intervals on the same node
+    are merged before measuring busy time.  Jobs are clipped to the
+    observation period.
+
+    Args:
+        jobs: the system's job log.
+        num_nodes: total node count (nodes without jobs get zero usage).
+        period: the system's observation period.
+
+    Returns:
+        One :class:`NodeUsage` per node id in ``[0, num_nodes)``.
+    """
+    if num_nodes < 1:
+        raise UsageError(f"num_nodes must be >= 1, got {num_nodes}")
+    intervals: list[list[tuple[float, float]]] = [[] for _ in range(num_nodes)]
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    for job in jobs:
+        lo = max(job.dispatch_time, period.start)
+        hi = min(job.end_time, period.end)
+        for node in job.node_ids:
+            if node >= num_nodes:
+                raise UsageError(
+                    f"job {job.job_id} references node {node} but the system "
+                    f"has only {num_nodes} nodes"
+                )
+            counts[node] += 1
+            if hi > lo:
+                intervals[node].append((lo, hi))
+    out = []
+    for node in range(num_nodes):
+        busy = _merged_busy_time(intervals[node])
+        out.append(
+            NodeUsage(
+                node_id=node,
+                num_jobs=int(counts[node]),
+                utilization=busy / period.length,
+                busy_days=busy,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class UserUsage:
+    """Per-user usage and node-caused failure summary (Section VI).
+
+    Attributes:
+        user_id: the user.
+        processor_days: total processor-days consumed by the user's jobs.
+        node_failed_jobs: number of the user's jobs that died because of a
+            node failure.
+        failures_per_processor_day: the paper's Figure 8 metric.
+    """
+
+    user_id: int
+    processor_days: float
+    node_failed_jobs: int
+
+    @property
+    def failures_per_processor_day(self) -> float:
+        """Node-caused job failures per processor-day of usage."""
+        if self.processor_days <= 0:
+            return 0.0
+        return self.node_failed_jobs / self.processor_days
+
+
+def user_usage_summaries(jobs: Iterable[JobRecord]) -> list[UserUsage]:
+    """Aggregate a job log into per-user usage summaries.
+
+    Returns one :class:`UserUsage` per distinct user, sorted by decreasing
+    processor-days (the paper focuses on the 50 heaviest users).
+    """
+    pd: dict[int, float] = {}
+    fails: dict[int, int] = {}
+    for job in jobs:
+        pd[job.user_id] = pd.get(job.user_id, 0.0) + job.processor_days
+        fails[job.user_id] = fails.get(job.user_id, 0) + int(job.failed_due_to_node)
+    summaries = [
+        UserUsage(user_id=u, processor_days=pd[u], node_failed_jobs=fails[u])
+        for u in pd
+    ]
+    summaries.sort(key=lambda s: s.processor_days, reverse=True)
+    return summaries
+
+
+def heaviest_users(jobs: Iterable[JobRecord], k: int = 50) -> list[UserUsage]:
+    """The ``k`` heaviest users by processor-days (paper Section VI)."""
+    if k < 1:
+        raise UsageError(f"k must be >= 1, got {k}")
+    return user_usage_summaries(jobs)[:k]

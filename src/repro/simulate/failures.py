@@ -1,0 +1,347 @@
+"""The day-stepped failure process: the heart of the generator.
+
+For each simulated day the process assembles, per node and per category,
+an additive daily hazard from four sources:
+
+1. **organic** -- the node's base rate (hardware-group baseline x
+   per-node heterogeneity x node-0 multipliers x usage multiplier x
+   neutron-flux coupling for the CPU share);
+2. **cascade** -- decaying boosts left by earlier failures on the same
+   node, rack and system (Section III correlations);
+3. **power stressors** -- decaying HW/SW boosts from power events
+   (Section VII);
+4. **thermal stressors** -- fast-decaying HW boosts from fan/chiller
+   events (Section VIII).
+
+Failure counts are Poisson draws per (node, category); each failure gets
+a root-cause subtype drawn from a *source-conditioned* mix: a hardware
+failure sampled while power boosts dominate the node's hazard draws its
+component from the power-conditioned mix (node boards, PSUs, memory --
+not CPUs), reproducing Figures 10/11/13 (right).  Organic hardware
+failures repeat the node's previous component with probability
+``hw_subtype_repeat_prob``, modelling hard (not cosmic-ray) errors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..records.dataset import HardwareGroup
+from ..records.failure import FailureRecord
+from ..records.taxonomy import (
+    Category,
+    EnvironmentSubtype,
+    HardwareSubtype,
+    NetworkSubtype,
+    SoftwareSubtype,
+    Subtype,
+)
+from .config import (
+    ArchiveConfig,
+    CATEGORY_INDEX,
+    CATEGORY_ORDER,
+    EffectSizes,
+    N_CATEGORIES,
+    SystemSpec,
+)
+from .hazards import CascadeState, StressorState, sample_downtime
+from .power import StressorTraces
+from .usage import UsageTraces
+
+_HW = CATEGORY_INDEX[Category.HARDWARE]
+_SW = CATEGORY_INDEX[Category.SOFTWARE]
+_ENV = CATEGORY_INDEX[Category.ENVIRONMENT]
+
+#: Hardware subtypes generated as dedicated stressor processes rather
+#: than organic draws (see :mod:`repro.simulate.power`).
+_EVENT_DRIVEN_HW = (HardwareSubtype.POWER_SUPPLY, HardwareSubtype.FAN)
+
+#: Floor on the usage hazard multiplier, keeping hazards positive under
+#: the negative utilization coefficient.
+_USAGE_MULT_FLOOR = 0.1
+
+
+def _organic_hw_mix(effects: EffectSizes) -> tuple[list[HardwareSubtype], np.ndarray]:
+    """Organic hardware subtype mix, with event-driven subtypes removed."""
+    subs = [s for s in effects.hw_subtype_mix if s not in _EVENT_DRIVEN_HW]
+    weights = np.array([effects.hw_subtype_mix[s] for s in subs])
+    return subs, weights / weights.sum()
+
+
+def _mix_arrays(mix: dict) -> tuple[list, np.ndarray]:
+    subs = list(mix)
+    weights = np.array([mix[s] for s in subs], dtype=float)
+    return subs, weights / weights.sum()
+
+
+def _usage_multiplier(
+    usage: UsageTraces | None, effects: EffectSizes, n_days: int, n_nodes: int
+) -> np.ndarray:
+    """Per-(day, node) hazard multiplier from the usage trace.
+
+    Log-linear (exponential) form, matching the log link of the paper's
+    Table II/III regressions: the injected coefficients then appear
+    (scaled by observation length) as the fitted GLM coefficients.  The
+    exponent is clipped so a pathological day cannot explode the hazard.
+    """
+    if usage is None:
+        return np.ones((n_days, n_nodes), dtype=np.float32)
+    risk_term = effects.user_risk_coef * np.maximum(usage.user_risk - 1.0, 0.0)
+    exponent = (
+        effects.jobs_hazard_coef * usage.jobs_started
+        + effects.util_hazard_coef * usage.busy_fraction
+        + risk_term
+    )
+    return np.exp(np.clip(exponent, -2.5, 1.5)).astype(np.float32)
+
+
+def simulate_failures(
+    spec: SystemSpec,
+    config: ArchiveConfig,
+    rng: np.random.Generator,
+    rack_of: np.ndarray | None,
+    usage: UsageTraces | None,
+    flux_per_day: np.ndarray,
+    stressors: StressorTraces,
+) -> list[FailureRecord]:
+    """Run the day-stepped simulation for one system.
+
+    Args:
+        spec: the system.
+        config: archive configuration.
+        rng: dedicated random stream.
+        rack_of: node -> rack mapping, or None (no rack cascades then).
+        usage: usage traces, or None for systems without job logs.
+        flux_per_day: daily neutron counts (couples into the CPU hazard).
+        stressors: pre-generated stressor traces; their failure records
+            participate in cascade updates, and their boost schedule
+            feeds the stressor state.
+
+    Returns:
+        The *organic* failure records (the caller merges them with the
+        stressor records, which are already in ``stressors.failures``).
+    """
+    effects = config.effects
+    n = spec.num_nodes
+    n_days = int(math.ceil(config.duration_days))
+    duration = config.duration_days
+
+    # --- static per-node, per-category organic rates ----------------------
+    base = effects.base_daily_hazard(spec.group)
+    shares = np.array([effects.category_mix[c] for c in CATEGORY_ORDER])
+    organic = base * shares  # (6,)
+    # PSU and fan failures are event-driven; remove their share from the
+    # organic hardware hazard so the overall component mix stays true.
+    hw_event_share = sum(effects.hw_subtype_mix[s] for s in _EVENT_DRIVEN_HW)
+    organic[_HW] *= 1.0 - hw_event_share
+    # Organic ENV failures are only the "other environment" remainder;
+    # power/chiller events supply the rest of the ENV category.
+    organic[_ENV] *= effects.env_subtype_mix[EnvironmentSubtype.OTHER_ENV]
+
+    heterogeneity = rng.lognormal(0.0, effects.node_heterogeneity_sigma, n)
+    heterogeneity /= math.exp(effects.node_heterogeneity_sigma**2 / 2.0)
+    node_cat = organic[None, :] * heterogeneity[:, None]  # (N, 6)
+    # The login/launch-node effect (Section IV) is a group-1 phenomenon:
+    # Figures 4-6 study systems 18/19/20.  Applying the multipliers to a
+    # (much smaller, higher-baseline) NUMA system would let node 0
+    # dominate its entire failure log.
+    if spec.group is HardwareGroup.GROUP1:
+        node0 = np.array([effects.node0_multipliers[c] for c in CATEGORY_ORDER])
+        node_cat[0] *= node0
+
+    # --- neutron coupling into the CPU share of the hardware hazard -------
+    hw_subs, hw_weights = _organic_hw_mix(effects)
+    cpu_idx = hw_subs.index(HardwareSubtype.CPU)
+    cpu_share = float(hw_weights[cpu_idx])
+    mean_flux = float(flux_per_day.mean()) if flux_per_day.size else 1.0
+    flux_rel = (
+        flux_per_day / mean_flux if mean_flux > 0 else np.ones_like(flux_per_day)
+    )
+    gamma = effects.neutron_cpu_exponent
+    flux_pow = flux_rel**gamma
+    # Multiplier on the organic HW hazard for each day.
+    hw_flux_factor = 1.0 - cpu_share + cpu_share * flux_pow
+
+    usage_mult = _usage_multiplier(usage, effects, n_days, n)
+
+    # --- evolving state ----------------------------------------------------
+    cascade = CascadeState(
+        n,
+        effects,
+        effects.cascade_scale(spec.group),
+        rack_of,
+        decay_days=effects.cascade_decay(spec.group),
+    )
+    stressor_state = StressorState(n, effects)
+
+    # Stressor failures bucketed by day for cascade absorption.
+    exo_nodes_by_day: dict[int, list[int]] = {}
+    exo_cats_by_day: dict[int, list[int]] = {}
+    # Exogenous hardware failures (PSU/fan events) seed the node's
+    # last-seen hardware component, so cascade follow-ups repeat the
+    # damaged component instead of re-drawing a CPU-heavy organic mix
+    # (Figures 10/13: CPUs show no increase after power/thermal events).
+    exo_hw_by_day: dict[int, list[tuple[int, HardwareSubtype]]] = {}
+    for f in stressors.failures:
+        d = int(f.time)
+        exo_nodes_by_day.setdefault(d, []).append(f.node_id)
+        exo_cats_by_day.setdefault(d, []).append(CATEGORY_INDEX[f.category])
+        if f.category is Category.HARDWARE and isinstance(
+            f.subtype, HardwareSubtype
+        ):
+            exo_hw_by_day.setdefault(d, []).append((f.node_id, f.subtype))
+    exo_env_by_day: dict[int, list[tuple[int, EnvironmentSubtype]]] = {}
+    for f in stressors.failures:
+        if f.category is Category.ENVIRONMENT and isinstance(
+            f.subtype, EnvironmentSubtype
+        ):
+            exo_env_by_day.setdefault(int(f.time), []).append(
+                (f.node_id, f.subtype)
+            )
+
+    sw_subs, sw_weights = _mix_arrays(effects.sw_subtype_mix)
+    net_subs, net_weights = _mix_arrays(effects.net_subtype_mix)
+    pwr_hw_subs, pwr_hw_weights = _mix_arrays(effects.power_hw_conditional_mix)
+    pwr_sw_subs, pwr_sw_weights = _mix_arrays(effects.power_sw_conditional_mix)
+    thr_hw_subs, thr_hw_weights = _mix_arrays(effects.thermal_hw_conditional_mix)
+
+    last_hw_subtype: dict[int, HardwareSubtype] = {}
+    last_env_subtype: dict[int, EnvironmentSubtype] = {}
+    last_sw_subtype: dict[int, SoftwareSubtype] = {}
+    records: list[FailureRecord] = []
+
+    def draw(subs: list, weights: np.ndarray) -> Subtype:
+        return subs[int(rng.choice(len(subs), p=weights))]
+
+    def hw_subtype(node: int, day: int, organic_hw: float) -> HardwareSubtype:
+        """Source-conditioned hardware component for one HW failure."""
+        power = float(stressor_state.hw[node])
+        thermal = float(stressor_state.thermal[node])
+        casc = float(cascade.boost[node, _HW])
+        total = organic_hw + casc + power + thermal
+        u = rng.random() * total if total > 0 else 0.0
+        if u < power:
+            return draw(pwr_hw_subs, pwr_hw_weights)
+        if u < power + thermal:
+            return draw(thr_hw_subs, thr_hw_weights)
+        # Organic or cascade source: hard errors repeat components.
+        prev = last_hw_subtype.get(node)
+        if prev is not None and rng.random() < effects.hw_subtype_repeat_prob:
+            return prev
+        # CPU weight follows today's neutron flux.
+        w = hw_weights.copy()
+        w[cpu_idx] *= float(flux_pow[min(day, flux_pow.size - 1)])
+        w /= w.sum()
+        return draw(hw_subs, w)
+
+    def sw_subtype(node: int) -> SoftwareSubtype:
+        """Source-conditioned software subsystem for one SW failure."""
+        power = float(stressor_state.sw[node])
+        organic_sw = float(node_cat[node, _SW]) + float(cascade.boost[node, _SW])
+        total = organic_sw + power
+        u = rng.random() * total if total > 0 else 0.0
+        if u < power:
+            sub = draw(pwr_sw_subs, pwr_sw_weights)
+        else:
+            # A flaky subsystem keeps failing: cascade follow-ups repeat
+            # the previous subsystem (e.g. storage after a power event).
+            prev = last_sw_subtype.get(node)
+            if prev is not None and rng.random() < effects.sw_subtype_repeat_prob:
+                sub = prev
+            else:
+                sub = draw(sw_subs, sw_weights)
+        last_sw_subtype[node] = sub
+        return sub
+
+    for day in range(n_days):
+        cascade.decay()
+        stressor_state.decay()
+        stressor_state.apply(stressors.schedule.pop(day))
+
+        # Assemble the day's hazards.  Usage modulates the organic AND
+        # cascade hazards (a stressed node fails more readily under the
+        # same workload conditions) but not externally-caused ENV events
+        # or the exogenous power/thermal stressor boosts.  Young systems
+        # run hotter: the infant-mortality multiplier decays over the
+        # first months of life.
+        infant = 1.0 + (effects.infant_mortality_factor - 1.0) * math.exp(
+            -day / effects.infant_period_days
+        )
+        lam = node_cat * infant
+        day_flux = float(hw_flux_factor[min(day, hw_flux_factor.size - 1)])
+        lam[:, _HW] *= day_flux
+        lam += cascade.boost
+        if usage is not None:
+            um = usage_mult[day][:, None]
+            non_env = [i for i in range(N_CATEGORIES) if i != _ENV]
+            lam[:, non_env] *= um
+        lam[:, _HW] += stressor_state.hw + stressor_state.thermal
+        lam[:, _SW] += stressor_state.sw
+
+        counts = rng.poisson(lam)
+        nodes_idx, cats_idx = np.nonzero(counts)
+        day_nodes: list[int] = []
+        day_cats: list[int] = []
+        for node, cat in zip(nodes_idx, cats_idx):
+            for _ in range(int(counts[node, cat])):
+                t = day + rng.random()
+                if t >= duration:
+                    continue
+                category = CATEGORY_ORDER[cat]
+                subtype: Subtype | None
+                if cat == _HW:
+                    organic_hw = float(node_cat[node, _HW]) * day_flux
+                    if usage is not None:
+                        organic_hw *= float(usage_mult[day, node])
+                    sub = hw_subtype(int(node), day, organic_hw)
+                    last_hw_subtype[int(node)] = sub
+                    subtype = sub
+                elif cat == _SW:
+                    subtype = sw_subtype(int(node))
+                elif cat == _ENV:
+                    # Environmental follow-ups usually repeat the kind of
+                    # problem the node just saw (another outage during a
+                    # grid-instability episode); only fresh organic ones
+                    # are "other environment".
+                    prev_env = last_env_subtype.get(int(node))
+                    if (
+                        prev_env is not None
+                        and rng.random() < effects.env_subtype_repeat_prob
+                    ):
+                        subtype = prev_env
+                    else:
+                        subtype = EnvironmentSubtype.OTHER_ENV
+                elif category is Category.NETWORK:
+                    subtype = draw(net_subs, net_weights)
+                else:
+                    subtype = None
+                records.append(
+                    FailureRecord(
+                        time=float(t),
+                        system_id=spec.system_id,
+                        node_id=int(node),
+                        category=category,
+                        subtype=subtype,
+                        downtime_hours=sample_downtime(category, rng, effects),
+                    )
+                )
+                day_nodes.append(int(node))
+                day_cats.append(int(cat))
+
+        # Cascades absorb today's organic *and* exogenous failures.
+        day_nodes.extend(exo_nodes_by_day.get(day, ()))
+        day_cats.extend(exo_cats_by_day.get(day, ()))
+        for node, sub in exo_hw_by_day.get(day, ()):
+            last_hw_subtype[node] = sub
+        for node, env_sub in exo_env_by_day.get(day, ()):
+            last_env_subtype[node] = env_sub
+        if day_nodes:
+            cascade.absorb(
+                np.asarray(day_nodes, dtype=np.int64),
+                np.asarray(day_cats, dtype=np.int64),
+            )
+
+    records.sort()
+    return records

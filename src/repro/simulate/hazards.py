@@ -1,0 +1,202 @@
+"""Hazard bookkeeping for the day-stepped failure simulation.
+
+Two kinds of state evolve during simulation:
+
+* **Cascade boosts** (:class:`CascadeState`): every failure leaves a
+  decaying additive hazard boost on its own node (strongest), on its rack
+  neighbours (weaker) and on every node of the system (weakest), keyed by
+  a trigger-category x target-category matrix.  This is the generative
+  mechanism behind the paper's Section III correlations.
+* **Stressor boosts** (:class:`BoostSchedule` + :class:`StressorState`):
+  power and temperature events schedule additive hardware / software /
+  thermal hazard boosts on affected nodes, possibly with a delay (power
+  spikes act "more apparent at longer timespans").  These drive the
+  Section VII and VIII effects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..records.taxonomy import Category
+from .config import CATEGORY_INDEX, EffectSizes, N_CATEGORIES
+
+
+def sample_downtime(
+    category: Category, rng: np.random.Generator, effects: EffectSizes
+) -> float:
+    """Draw a repair time (hours) for a failure of ``category``."""
+    mu, sigma = effects.downtime_lognorm[category]
+    return float(rng.lognormal(mu, sigma))
+
+
+class CascadeState:
+    """Decaying per-node per-category cascade boosts.
+
+    ``boost`` is an ``(N, 6)`` array of additive daily hazards.  Each
+    simulated day the state decays by ``exp(-1/decay_days)`` and then
+    absorbs the day's failures.
+    """
+
+    #: Maximum tolerated branching factor (expected follow-up failures
+    #: spawned per failure).  At 1.0 the cascade is critical and the
+    #: failure process never stabilises; construction fails loudly well
+    #: before that instead of silently generating failures without bound.
+    MAX_BRANCHING = 0.95
+
+    def __init__(
+        self,
+        num_nodes: int,
+        effects: EffectSizes,
+        cascade_scale: float,
+        rack_of: np.ndarray | None,
+        decay_days: float | None = None,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.boost = np.zeros((num_nodes, N_CATEGORIES))
+        tau = decay_days if decay_days is not None else effects.cascade_decay_days
+        if tau <= 0:
+            raise ValueError(f"decay_days must be positive, got {tau}")
+        self._decay = math.exp(-1.0 / tau)
+        s = cascade_scale
+        self._node_matrix = np.asarray(effects.same_node_cascade) * s
+        self._rack_matrix = np.asarray(effects.same_rack_cascade) * s
+        # System-matrix entries are SYSTEM-WIDE TOTALS; dividing by the
+        # node count keeps per-failure branching independent of size.
+        # The group cascade scale deliberately does NOT apply here: the
+        # group-2 scale compensates for higher per-node baselines, while
+        # the system-wide total is a property of shared infrastructure.
+        self._system_matrix = np.asarray(effects.same_system_cascade) / num_nodes
+        if rack_of is not None:
+            rack_of = np.asarray(rack_of, dtype=np.int64)
+            if rack_of.shape != (num_nodes,):
+                raise ValueError("rack_of must map every node to a rack")
+            self._rack_of = rack_of
+            self._num_racks = int(rack_of.max()) + 1
+            counts = np.bincount(rack_of)
+            max_rack = int(counts.max())
+        else:
+            self._rack_of = None
+            self._num_racks = 0
+            max_rack = 1
+        # Guard against a supercritical cascade: per trigger category, the
+        # expected number of spawned follow-ups across node, rack and
+        # system terms (each boost integrates to row_sum * tau over time).
+        branching = (
+            self._node_matrix.sum(axis=1)
+            + self._rack_matrix.sum(axis=1) * max(max_rack - 1, 0)
+            + self._system_matrix.sum(axis=1) * num_nodes
+        ) * tau
+        worst = float(branching.max())
+        if worst > self.MAX_BRANCHING:
+            raise ValueError(
+                f"cascade configuration is (super)critical: branching factor "
+                f"{worst:.2f} > {self.MAX_BRANCHING}; reduce cascade matrix "
+                f"entries, scale, or decay time"
+            )
+
+    def decay(self) -> None:
+        """Advance the state by one day."""
+        self.boost *= self._decay
+
+    def absorb(self, failure_nodes: np.ndarray, failure_cats: np.ndarray) -> None:
+        """Add the cascade contributions of one day's failures.
+
+        Args:
+            failure_nodes: node index of each failure (int array).
+            failure_cats: category index (0..5) of each failure.
+        """
+        if failure_nodes.size == 0:
+            return
+        # Per-(node, category) failure counts for the day.
+        day_counts = np.zeros((self.num_nodes, N_CATEGORIES))
+        np.add.at(day_counts, (failure_nodes, failure_cats), 1.0)
+        # Same-node boosts: counts (N,6) x matrix (6,6) -> (N,6).
+        self.boost += day_counts @ self._node_matrix
+        # Same-system boosts: every node receives the system-wide total.
+        # (The origin node's own small extra contribution is negligible
+        # against its same-node term and is deliberately not subtracted.)
+        cat_totals = day_counts.sum(axis=0)
+        self.boost += cat_totals @ self._system_matrix
+        # Same-rack boosts: rack totals minus own contribution, so a
+        # failure boosts its *neighbours*, not (again) its own node.
+        if self._rack_of is not None:
+            rack_counts = np.zeros((self._num_racks, N_CATEGORIES))
+            np.add.at(rack_counts, self._rack_of, day_counts)
+            neighbour_counts = rack_counts[self._rack_of] - day_counts
+            self.boost += neighbour_counts @ self._rack_matrix
+
+
+@dataclass
+class BoostSchedule:
+    """Deferred per-day stressor-boost additions.
+
+    Events register ``(nodes, hw, sw, thermal)`` tuples under the day the
+    boost should take effect (power spikes defer by
+    ``EffectSizes.spike_delay_days``); the simulation pops each day's
+    entries as it reaches them.
+    """
+
+    _by_day: dict[int, list[tuple[np.ndarray, float, float, float]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def add(
+        self,
+        day: int,
+        nodes: np.ndarray,
+        hw: float = 0.0,
+        sw: float = 0.0,
+        thermal: float = 0.0,
+    ) -> None:
+        """Schedule a boost addition on ``nodes`` effective at ``day``."""
+        if hw < 0 or sw < 0 or thermal < 0:
+            raise ValueError("boost amounts must be >= 0")
+        self._by_day[day].append(
+            (np.asarray(nodes, dtype=np.int64), hw, sw, thermal)
+        )
+
+    def pop(self, day: int) -> list[tuple[np.ndarray, float, float, float]]:
+        """Entries effective at ``day`` (removed from the schedule)."""
+        return self._by_day.pop(day, [])
+
+
+class StressorState:
+    """Decaying stressor boosts: hardware, software and thermal channels.
+
+    * ``hw`` / ``sw`` decay with :attr:`EffectSizes.stressor_decay_days`
+      (slow: month-scale effects of Figures 10/11);
+    * ``thermal`` decays with :attr:`EffectSizes.cascade_decay_days`
+      (fast: a fan failure's temperature excursion is short, Figure 13).
+
+    The relative sizes of the channels also steer conditional subtype
+    mixes: a hardware failure sampled while ``hw`` dominates the node's
+    hazard draws its component from the power-conditioned mix.
+    """
+
+    def __init__(self, num_nodes: int, effects: EffectSizes) -> None:
+        self.hw = np.zeros(num_nodes)
+        self.sw = np.zeros(num_nodes)
+        self.thermal = np.zeros(num_nodes)
+        self._slow_decay = math.exp(-1.0 / effects.stressor_decay_days)
+        self._fast_decay = math.exp(-1.0 / effects.cascade_decay_days)
+
+    def decay(self) -> None:
+        """Advance the state by one day."""
+        self.hw *= self._slow_decay
+        self.sw *= self._slow_decay
+        self.thermal *= self._fast_decay
+
+    def apply(self, entries: list[tuple[np.ndarray, float, float, float]]) -> None:
+        """Apply a day's scheduled boost additions."""
+        for nodes, hw, sw, thermal in entries:
+            if hw:
+                self.hw[nodes] += hw
+            if sw:
+                self.sw[nodes] += sw
+            if thermal:
+                self.thermal[nodes] += thermal

@@ -1,0 +1,107 @@
+"""Motherboard-sensor temperature series (substitute for system 20's logs).
+
+The paper's Section VIII (and the regressions of Section X) consume
+per-node aggregates of periodic ambient-temperature samples: average,
+maximum, variance and the count of severe (>40C) warnings.  Crucially,
+the paper finds *no* effect of average temperature on failures -- the
+harm comes from brief excursions caused by fan/chiller failures.  The
+generator therefore:
+
+* gives every node a stable baseline (cooler or warmer spots in the
+  hot-aisle/cold-aisle flow) plus a diurnal cycle and sensor noise,
+  with **no coupling into the hazard model** (the injected null);
+* overlays short excursions around fan failures (node-local) and chiller
+  failures (room-wide), whose *hazard* effect is injected via the
+  stressor thermal channel, not via the temperature values -- so the
+  periodic samples may miss an excursion exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..records.environment import TemperatureReading
+from ..records.taxonomy import EnvironmentSubtype, HardwareSubtype
+from .config import ArchiveConfig, SystemSpec
+from .power import StressorEvent
+
+
+def generate_temperatures(
+    spec: SystemSpec,
+    config: ArchiveConfig,
+    rng: np.random.Generator,
+    stressor_events: tuple[StressorEvent, ...],
+) -> list[TemperatureReading]:
+    """Generate the periodic sensor samples for one system.
+
+    Args:
+        spec: the system (conventionally one with ``has_temperature``).
+        config: archive configuration.
+        rng: dedicated random stream.
+        stressor_events: the system's stressor events; fan and chiller
+            failures among them produce temperature excursions.
+    """
+    effects = config.effects
+    n = spec.num_nodes
+    duration = config.duration_days
+    interval = effects.temp_sample_interval_days
+
+    baselines = rng.normal(
+        effects.temp_baseline_mean_c, effects.temp_baseline_spread_c, n
+    )
+    # Sample times: shared grid with small per-node jitter so samplers
+    # do not all hit the same diurnal phase.
+    grid = np.arange(0.0, duration, interval)
+    jitter = rng.uniform(0.0, interval, n)
+
+    # Excursions: (start, end, peak, node or None for room-wide).
+    excursions: list[tuple[float, float, float, int | None]] = []
+    for ev in stressor_events:
+        if ev.subtype is HardwareSubtype.FAN and ev.node_ids:
+            excursions.append(
+                (
+                    ev.time,
+                    ev.time + effects.temp_excursion_days,
+                    effects.temp_excursion_c,
+                    ev.node_ids[0],
+                )
+            )
+        elif ev.subtype is EnvironmentSubtype.CHILLER:
+            excursions.append(
+                (
+                    ev.time,
+                    ev.time + effects.temp_excursion_days,
+                    effects.temp_excursion_c * 0.6,
+                    None,
+                )
+            )
+
+    readings: list[TemperatureReading] = []
+    two_pi = 2.0 * math.pi
+    for node in range(n):
+        times = grid + jitter[node]
+        times = times[times < duration]
+        diurnal = effects.temp_diurnal_amplitude_c * np.sin(two_pi * times)
+        noise = rng.normal(0.0, effects.temp_noise_c, times.size)
+        temps = baselines[node] + diurnal + noise
+        for start, end, peak, exc_node in excursions:
+            if exc_node is not None and exc_node != node:
+                continue
+            in_window = (times >= start) & (times < end)
+            if in_window.any():
+                # Linear rise-and-fall peaking mid-excursion.
+                rel = (times[in_window] - start) / (end - start)
+                temps[in_window] += peak * (1.0 - np.abs(2.0 * rel - 1.0))
+        for t, c in zip(times, temps):
+            readings.append(
+                TemperatureReading(
+                    time=float(t),
+                    system_id=spec.system_id,
+                    node_id=node,
+                    celsius=float(np.clip(c, -50.0, 150.0)),
+                )
+            )
+    readings.sort()
+    return readings

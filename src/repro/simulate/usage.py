@@ -1,0 +1,202 @@
+"""Job-log generation for usage systems (substitute for LANL systems 8/20 logs).
+
+Produces a workload with the statistical features Sections V, VI and X
+rely on:
+
+* a heavy-tailed user population (>400 users, with 50 "heavy" users
+  dominating processor-days) drawn from Zipf-like weights;
+* per-user *riskiness* multipliers (lognormal): while a risky user's job
+  runs on a node, the node's hazard is elevated -- this is the injected
+  mechanism behind "some users experience a significantly higher failure
+  rate per processor-day" (Figure 8);
+* per-node scheduling popularity (lognormal), with node 0 strongly
+  over-weighted -- the login/launch-node effect behind Figures 4-7;
+* multi-node jobs with geometric size distribution and lognormal
+  runtimes.
+
+Because failures are generated *after* usage (the hazard model consumes
+the usage arrays), this module emits lightweight :class:`JobDraft`
+objects; the archive builder later converts them to
+:class:`~repro.records.usage.JobRecord` once node-failure overlap (the
+``failed_due_to_node`` flag) can be resolved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.timeutil import DAYS_PER_YEAR
+from .config import ArchiveConfig, ConfigError, SystemSpec
+
+
+@dataclass(frozen=True, slots=True)
+class JobDraft:
+    """A generated job before failure-overlap resolution."""
+
+    job_id: int
+    submit_time: float
+    dispatch_time: float
+    end_time: float
+    user_id: int
+    num_processors: int
+    node_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UsageTraces:
+    """Job drafts plus the per-day arrays the hazard model consumes.
+
+    Attributes:
+        drafts: generated jobs, sorted by submit time.
+        jobs_started: ``(T, N)`` count of jobs dispatched to each node
+            each day.
+        busy_fraction: ``(T, N)`` fraction of each day each node had at
+            least one job (clipped union approximation).
+        user_risk: ``(T, N)`` maximum riskiness of the users running on
+            the node that day (0 when idle).
+        user_risks: per-user riskiness multipliers, indexed by user id.
+    """
+
+    drafts: tuple[JobDraft, ...]
+    jobs_started: np.ndarray
+    busy_fraction: np.ndarray
+    user_risk: np.ndarray
+    user_risks: np.ndarray
+
+
+#: Mean nodes per job implied by the geometric size distribution below;
+#: used to convert per-node job density into a system-level arrival count.
+_MEAN_NODES_PER_JOB = 1.9
+#: Geometric parameter for job node-counts (P(size=k) ~ (1-p)^(k-1) p).
+_JOB_SIZE_P = 0.55
+_MAX_JOB_NODES = 32
+#: Lognormal runtime parameters (log-days): median ~0.35 days, heavy tail.
+_RUNTIME_LOG_MU = -1.05
+_RUNTIME_LOG_SIGMA = 1.1
+_MAX_RUNTIME_DAYS = 14.0
+#: Mean queueing delay in days.
+_QUEUE_DELAY_MEAN = 0.08
+#: Zipf-like exponent for user activity weights.
+_USER_ZIPF_EXPONENT = 0.9
+#: Scheduling-popularity boost of node 0 (login/launch node).
+_NODE0_POPULARITY = 6.0
+#: Lognormal sigma of per-node scheduling popularity.
+_NODE_POPULARITY_SIGMA = 0.5
+#: Lognormal sigma of per-node job-duration scaling.  Decorrelates a
+#: node's utilization from its job count (some nodes run few long jobs,
+#: others many short ones), which keeps the Section X regression's
+#: ``num_jobs`` and ``util`` columns from being collinear.
+_NODE_RUNTIME_SIGMA = 0.7
+
+
+def generate_usage(
+    spec: SystemSpec,
+    config: ArchiveConfig,
+    rng: np.random.Generator,
+) -> UsageTraces:
+    """Generate the usage trace for one system.
+
+    Args:
+        spec: the system (must have ``has_usage`` set by the caller's
+            convention; the function itself only needs the node count).
+        config: archive-level configuration (duration, density, users).
+        rng: dedicated random stream.
+    """
+    n_nodes = spec.num_nodes
+    duration = config.duration_days
+    n_days = int(math.ceil(duration))
+    effects = config.effects
+
+    expected_jobs = (
+        config.jobs_per_node_per_year * n_nodes * config.years / _MEAN_NODES_PER_JOB
+    )
+    n_jobs = int(rng.poisson(expected_jobs)) if expected_jobs > 0 else 0
+
+    # Per-user weights and riskiness.
+    ranks = np.arange(1, config.num_users + 1, dtype=float)
+    user_weights = 1.0 / ranks**_USER_ZIPF_EXPONENT
+    user_weights /= user_weights.sum()
+    user_risks = rng.lognormal(0.0, effects.user_risk_sigma, config.num_users)
+
+    # Per-node scheduling popularity; node 0 is the login/launch node.
+    node_weights = rng.lognormal(0.0, _NODE_POPULARITY_SIGMA, n_nodes)
+    node_weights[0] *= _NODE0_POPULARITY
+    node_weights /= node_weights.sum()
+    # Per-node job-duration scaling (see _NODE_RUNTIME_SIGMA).
+    node_runtime = rng.lognormal(0.0, _NODE_RUNTIME_SIGMA, n_nodes)
+
+    jobs_started = np.zeros((n_days, n_nodes), dtype=np.float32)
+    busy_occupancy = np.zeros((n_days, n_nodes), dtype=np.float32)
+    user_risk = np.zeros((n_days, n_nodes), dtype=np.float32)
+
+    if n_jobs == 0:
+        return UsageTraces(
+            drafts=(),
+            jobs_started=jobs_started,
+            busy_fraction=busy_occupancy,
+            user_risk=user_risk,
+            user_risks=user_risks,
+        )
+
+    submit = np.sort(rng.uniform(0.0, duration, n_jobs))
+    queue_delay = rng.exponential(_QUEUE_DELAY_MEAN, n_jobs)
+    runtime = np.minimum(
+        rng.lognormal(_RUNTIME_LOG_MU, _RUNTIME_LOG_SIGMA, n_jobs),
+        _MAX_RUNTIME_DAYS,
+    )
+    users = rng.choice(config.num_users, size=n_jobs, p=user_weights)
+    sizes = np.minimum(
+        rng.geometric(_JOB_SIZE_P, n_jobs), min(_MAX_JOB_NODES, n_nodes)
+    )
+    # One bulk weighted draw for all jobs' node picks, then de-duplicated
+    # per job (a job that draws the same node twice simply runs smaller).
+    all_picks = rng.choice(n_nodes, size=int(sizes.sum()), p=node_weights)
+
+    drafts: list[JobDraft] = []
+    cursor = 0
+    eps = 1e-6
+    for j in range(n_jobs):
+        k = int(sizes[j])
+        picks = np.unique(all_picks[cursor : cursor + k])
+        cursor += k
+        dispatch = min(submit[j] + queue_delay[j], duration - eps)
+        scaled_runtime = runtime[j] * float(node_runtime[picks[0]])
+        end = min(dispatch + min(scaled_runtime, _MAX_RUNTIME_DAYS), duration - eps)
+        if end <= dispatch:
+            end = dispatch
+        nodes = tuple(int(n) for n in picks)
+        drafts.append(
+            JobDraft(
+                job_id=j,
+                submit_time=float(submit[j]),
+                dispatch_time=float(dispatch),
+                end_time=float(end),
+                user_id=int(users[j]),
+                num_processors=len(nodes) * spec.processors_per_node,
+                node_ids=nodes,
+            )
+        )
+        # Accumulate the per-day arrays for the hazard model.
+        first_day = int(dispatch)
+        last_day = min(int(end), n_days - 1)
+        risk = float(user_risks[users[j]])
+        for node in nodes:
+            jobs_started[first_day, node] += 1.0
+            for day in range(first_day, last_day + 1):
+                overlap = min(end, day + 1.0) - max(dispatch, float(day))
+                if overlap > 0:
+                    busy_occupancy[day, node] += overlap
+                    if risk > user_risk[day, node]:
+                        user_risk[day, node] = risk
+
+    np.clip(busy_occupancy, 0.0, 1.0, out=busy_occupancy)
+    return UsageTraces(
+        drafts=tuple(drafts),
+        jobs_started=jobs_started,
+        busy_fraction=busy_occupancy,
+        user_risk=user_risk,
+        user_risks=user_risks,
+    )

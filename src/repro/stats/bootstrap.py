@@ -1,0 +1,122 @@
+"""Nonparametric bootstrap confidence intervals.
+
+Several paper quantities have no convenient closed-form interval -- e.g.
+factor increases (ratios of two estimated proportions) or per-user rate
+ratios.  The percentile bootstrap provides distribution-free intervals
+for any statistic of a sample; :func:`bootstrap_ratio_ci` specializes it
+to the conditional/baseline probability ratios annotated on the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+class BootstrapError(ValueError):
+    """Raised on invalid bootstrap inputs."""
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapCI:
+    """A percentile-bootstrap confidence interval.
+
+    Attributes:
+        estimate: the statistic on the original sample.
+        low: lower percentile bound.
+        high: upper percentile bound.
+        confidence: nominal confidence level.
+        replicates: number of bootstrap resamples used.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    replicates: int
+
+
+def bootstrap_ci(
+    data: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for ``statistic(data)``.
+
+    Args:
+        data: 1-D sample; resampled with replacement row-wise.
+        statistic: maps a sample to a scalar.
+        confidence: CI level.
+        replicates: number of resamples (>= 100 for a meaningful interval).
+        rng: numpy Generator; a fresh default one is created if omitted.
+    """
+    x = np.asarray(data)
+    if x.ndim != 1 or x.size < 2:
+        raise BootstrapError("need a 1-D sample of size >= 2")
+    if not (0.0 < confidence < 1.0):
+        raise BootstrapError(f"confidence must be in (0, 1), got {confidence}")
+    if replicates < 100:
+        raise BootstrapError(f"replicates must be >= 100, got {replicates}")
+    if rng is None:
+        rng = np.random.default_rng()
+    estimate = float(statistic(x))
+    reps = np.empty(replicates)
+    n = x.size
+    for i in range(replicates):
+        reps[i] = statistic(x[rng.integers(0, n, size=n)])
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(reps, [tail, 1.0 - tail])
+    return BootstrapCI(estimate, float(low), float(high), confidence, replicates)
+
+
+def bootstrap_ratio_ci(
+    successes1: int,
+    trials1: int,
+    successes2: int,
+    trials2: int,
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapCI:
+    """Bootstrap CI for the ratio of two binomial proportions.
+
+    This is the interval behind the paper's "NX increase" annotations:
+    p1/p2 where p1 is a conditional failure probability and p2 the
+    baseline.  Samples are resampled as Bernoulli vectors.
+
+    Zero-denominator resamples are discarded; if fewer than 10% of the
+    resamples survive, :class:`BootstrapError` is raised because the
+    ratio is too unstable to interval.
+    """
+    for s, t in ((successes1, trials1), (successes2, trials2)):
+        if t < 1 or s < 0 or s > t:
+            raise BootstrapError(f"invalid counts {s}/{t}")
+    if successes2 == 0:
+        raise BootstrapError("baseline has zero successes; ratio undefined")
+    if not (0.0 < confidence < 1.0):
+        raise BootstrapError(f"confidence must be in (0, 1), got {confidence}")
+    if replicates < 100:
+        raise BootstrapError(f"replicates must be >= 100, got {replicates}")
+    if rng is None:
+        rng = np.random.default_rng()
+    p1 = successes1 / trials1
+    p2 = successes2 / trials2
+    estimate = p1 / p2
+    draws1 = rng.binomial(trials1, p1, size=replicates)
+    draws2 = rng.binomial(trials2, p2, size=replicates)
+    keep = draws2 > 0
+    if keep.sum() < replicates * 0.1:
+        raise BootstrapError(
+            "baseline proportion too close to zero for a stable ratio CI"
+        )
+    ratios = (draws1[keep] / trials1) / (draws2[keep] / trials2)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [tail, 1.0 - tail])
+    return BootstrapCI(
+        float(estimate), float(low), float(high), confidence, int(keep.sum())
+    )

@@ -1,0 +1,78 @@
+"""Descriptive statistics helpers shared by the analysis layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DescriptiveError(ValueError):
+    """Raised on empty or invalid samples."""
+
+
+@dataclass(frozen=True, slots=True)
+class SampleSummary:
+    """Five-number-plus summary of a sample.
+
+    Attributes:
+        n: sample size.
+        mean: arithmetic mean.
+        std: population standard deviation.
+        minimum: smallest value.
+        q1: first quartile.
+        median: median.
+        q3: third quartile.
+        maximum: largest value.
+    """
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+
+def summarize(data: np.ndarray) -> SampleSummary:
+    """Summarize a non-empty 1-D numeric sample."""
+    x = np.asarray(data, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise DescriptiveError("need a non-empty 1-D sample")
+    if not np.isfinite(x).all():
+        raise DescriptiveError("sample must be finite")
+    q1, med, q3 = np.quantile(x, [0.25, 0.5, 0.75])
+    return SampleSummary(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std()),
+        minimum=float(x.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(x.max()),
+    )
+
+
+def share(part: float, whole: float) -> float:
+    """Fraction ``part / whole``; 0 when the whole is 0.
+
+    Used for root-cause breakdowns (Figures 5, 9) where an empty
+    denominator legitimately means "no failures of this kind".
+    """
+    if whole < 0 or part < 0:
+        raise DescriptiveError(f"counts must be >= 0, got {part}/{whole}")
+    if whole == 0:
+        return 0.0
+    return part / whole
+
+
+def rate_per(events: float, exposure: float) -> float:
+    """Event rate per unit exposure; raises on non-positive exposure."""
+    if exposure <= 0:
+        raise DescriptiveError(f"exposure must be positive, got {exposure}")
+    if events < 0:
+        raise DescriptiveError(f"events must be >= 0, got {events}")
+    return events / exposure

@@ -1,0 +1,238 @@
+"""Terminal (ASCII) chart primitives.
+
+The paper's figures are bar charts with factor annotations, scatter
+plots and a pie breakdown.  This module renders all three as plain text
+so the toolkit can show every figure in a terminal, in CI logs and in
+docstrings without a plotting dependency.
+
+All functions return strings (no printing) and are deterministic, which
+also makes them testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class ChartError(ValueError):
+    """Raised on empty or inconsistent chart data."""
+
+
+_FULL = "#"
+_HALF = "+"
+
+
+def _check_values(values: Sequence[float]) -> list[float]:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ChartError("no values to chart")
+    if any(math.isinf(v) for v in vals):
+        raise ChartError("values must be finite (NaN is rendered as NA)")
+    return vals
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    annotations: Sequence[str] | None = None,
+    width: int = 48,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart.
+
+    Args:
+        labels: one label per bar.
+        values: bar lengths (NaN renders as ``NA``, like the paper's
+            missing bars).
+        annotations: optional per-bar suffix (e.g. ``"14.5x"``).
+        width: character width of the longest bar.
+        title: optional title line.
+        value_format: format applied to each value.
+    """
+    vals = _check_values(values)
+    if len(labels) != len(vals):
+        raise ChartError(f"{len(labels)} labels for {len(vals)} values")
+    if annotations is not None and len(annotations) != len(vals):
+        raise ChartError("annotations must match values in length")
+    if width < 4:
+        raise ChartError("width must be >= 4")
+    finite = [v for v in vals if not math.isnan(v)]
+    peak = max((abs(v) for v in finite), default=0.0)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, (label, v) in enumerate(zip(labels, vals)):
+        suffix = f"  {annotations[i]}" if annotations else ""
+        if math.isnan(v):
+            lines.append(f"{str(label):<{label_w}} | NA{suffix}")
+            continue
+        frac = abs(v) / peak if peak > 0 else 0.0
+        cells = frac * width
+        bar = _FULL * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        rendered = value_format.format(v)
+        lines.append(f"{str(label):<{label_w}} |{bar} {rendered}{suffix}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Grouped horizontal bars: several series per group.
+
+    Renders each group as a block with one bar per series -- the layout
+    of the paper's Figure 1(b)/2(b) "after same / after any / random"
+    triplets.
+    """
+    if not groups:
+        raise ChartError("no groups")
+    if not series:
+        raise ChartError("no series")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ChartError(
+                f"series {name!r} has {len(vals)} values for "
+                f"{len(groups)} groups"
+            )
+    all_vals = [
+        float(v)
+        for vals in series.values()
+        for v in vals
+        if not math.isnan(float(v))
+    ]
+    peak = max((abs(v) for v in all_vals), default=0.0)
+    name_w = max(len(n) for n in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            v = float(vals[gi])
+            if math.isnan(v):
+                lines.append(f"  {name:<{name_w}} | NA")
+                continue
+            cells = (abs(v) / peak * width) if peak > 0 else 0.0
+            bar = _FULL * int(cells) + (_HALF if cells - int(cells) >= 0.5 else "")
+            lines.append(
+                f"  {name:<{name_w}} |{bar} {value_format.format(v)}"
+            )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+    marks: Sequence[int] | None = None,
+) -> str:
+    """Character-grid scatter plot (the paper's Figures 4, 7, 12, 14).
+
+    Args:
+        x / y: point coordinates.
+        width / height: plot area in characters.
+        title / xlabel / ylabel: decorations.
+        marks: optional indices of points to highlight with ``X``
+            (the paper highlights node 0 this way in Figure 7).
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size == 0 or xs.shape != ys.shape:
+        raise ChartError("need matching non-empty x and y")
+    keep = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[keep], ys[keep]
+    if xs.size == 0:
+        raise ChartError("no finite points")
+    if width < 8 or height < 4:
+        raise ChartError("plot area too small")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    mark_set = set(marks or ())
+    original_idx = np.nonzero(keep)[0]
+    for i, (px, py) in enumerate(zip(xs, ys)):
+        col = min(int((px - x_lo) / x_span * (width - 1)), width - 1)
+        row = min(int((py - y_lo) / y_span * (height - 1)), height - 1)
+        row = height - 1 - row  # origin bottom-left
+        char = "X" if int(original_idx[i]) in mark_set else "o"
+        if grid[row][col] != "X":
+            grid[row][col] = char
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(ylabel))
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            left = top_label
+        elif r == height - 1:
+            left = bottom_label
+        elif r == height // 2 and ylabel:
+            left = ylabel[:margin]
+        else:
+            left = ""
+        lines.append(f"{left:>{margin}} |" + "".join(row_chars))
+    lines.append(f"{'':>{margin}} +" + "-" * width)
+    x_axis = f"{x_lo:.4g}{'':^{max(width - 12, 1)}}{x_hi:.4g}"
+    lines.append(f"{'':>{margin}}  " + x_axis)
+    if xlabel:
+        lines.append(f"{'':>{margin}}  {xlabel:^{width}}")
+    return "\n".join(lines)
+
+
+def breakdown_chart(
+    shares: dict[str, float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Share breakdown (the paper's Figure 9 pie) as stacked text bars."""
+    if not shares:
+        raise ChartError("no shares")
+    total = sum(shares.values())
+    if total <= 0:
+        raise ChartError("shares must sum to a positive total")
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(k) for k in shares)
+    for label, value in sorted(shares.items(), key=lambda kv: -kv[1]):
+        frac = value / total
+        bar = _FULL * max(1, round(frac * width)) if value > 0 else ""
+        lines.append(f"{label:<{label_w}} |{bar} {frac:6.1%}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], levels: str = " .:-=+*#") -> str:
+    """One-line intensity strip for a series (used for time densities)."""
+    vals = np.asarray(_check_values(values), dtype=float)
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        raise ChartError("no finite values")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo or 1.0
+    out = []
+    for v in vals:
+        if math.isnan(v):
+            out.append("?")
+            continue
+        idx = int((v - lo) / span * (len(levels) - 1))
+        out.append(levels[idx])
+    return "".join(out)

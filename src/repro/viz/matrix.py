@@ -1,0 +1,77 @@
+"""Text rendering of the Section III-A.3 pairwise correlation matrix.
+
+The paper computes all pairwise probabilities p(x, y) -- a type-Y failure
+in the week following a type-X failure -- and reads two stories off the
+matrix: the dominant diagonal (same-type correlations) and the
+ENV/NET/SW cross-correlation triangle it then investigates with LANL's
+operators.  :func:`render_pairwise_matrix` prints the factor-over-random
+matrix with those structures visible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.correlations import PairwiseCell, pairwise_matrix
+from ..records.dataset import SystemDataset
+from ..records.taxonomy import Category, all_categories
+from ..records.timeutil import Span
+
+
+def render_pairwise_matrix(
+    systems: Sequence[SystemDataset],
+    span: Span = Span.WEEK,
+    cell_width: int = 8,
+) -> str:
+    """Factor matrix: rows = trigger type, columns = follow-up type.
+
+    Each cell is the factor by which a type-X failure raises the
+    probability of a type-Y failure on the same node within ``span``,
+    over the type-Y random-window baseline.  Diagonal cells are wrapped
+    in ``[..]`` and insignificant cells marked with a trailing ``-``.
+    """
+    cells = pairwise_matrix(systems, span=span)
+    by: dict[tuple[Category, Category], PairwiseCell] = {
+        (c.trigger, c.target): c for c in cells
+    }
+    cats = all_categories()
+    header = "trigger \\ target" + "".join(
+        f"{c.value:>{cell_width}}" for c in cats
+    )
+    lines = [
+        f"Pairwise p(x, y) factors over random (same node, {span}):",
+        header,
+    ]
+    for trig in cats:
+        row = [f"{trig.value:<16}"]
+        for targ in cats:
+            cell = by[(trig, targ)]
+            f = cell.comparison.factor
+            if math.isnan(f):
+                token = "NA"
+            else:
+                token = f"{f:.1f}"
+                if trig is targ:
+                    token = f"[{token}]"
+                if not cell.comparison.test.significant:
+                    token += "-"
+            row.append(f"{token:>{cell_width}}")
+        lines.append("".join(row))
+    lines.append(
+        "[diagonal] = same-type; trailing '-' = not significant at 5%"
+    )
+    return "\n".join(lines)
+
+
+def cross_triangle_factors(
+    systems: Sequence[SystemDataset], span: Span = Span.WEEK
+) -> dict[tuple[Category, Category], float]:
+    """The six off-diagonal ENV/NET/SW factors (the paper's triangle)."""
+    cells = pairwise_matrix(systems, span=span)
+    tri = (Category.ENVIRONMENT, Category.NETWORK, Category.SOFTWARE)
+    return {
+        (c.trigger, c.target): c.comparison.factor
+        for c in cells
+        if c.trigger in tri and c.target in tri and c.trigger is not c.target
+    }

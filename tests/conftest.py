@@ -1,0 +1,48 @@
+"""Shared fixtures: generated archives at two sizes.
+
+Archives are generated once per test session; individual tests must not
+mutate them (all record types are frozen dataclasses, so accidental
+mutation fails loudly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.records.dataset import Archive, HardwareGroup
+from repro.simulate.archive import make_archive
+from repro.simulate.config import small_config
+
+
+@pytest.fixture(scope="session")
+def tiny_archive() -> Archive:
+    """A very small archive for fast structural tests."""
+    return make_archive(small_config(seed=3, years=2.0, scale=0.03))
+
+
+@pytest.fixture(scope="session")
+def medium_archive() -> Archive:
+    """A medium archive for statistical shape tests.
+
+    Large enough that the injected effects are measurable, small enough
+    to generate in a few seconds.
+    """
+    return make_archive(small_config(seed=7, years=6.0, scale=0.3))
+
+
+@pytest.fixture(scope="session")
+def group1(medium_archive: Archive):
+    """Group-1 systems of the medium archive."""
+    return medium_archive.group(HardwareGroup.GROUP1)
+
+
+@pytest.fixture(scope="session")
+def group2(medium_archive: Archive):
+    """Group-2 systems of the medium archive."""
+    return medium_archive.group(HardwareGroup.GROUP2)
+
+
+@pytest.fixture(scope="session")
+def system20(medium_archive: Archive):
+    """The usage+temperature+layout system of the medium archive."""
+    return medium_archive[20]

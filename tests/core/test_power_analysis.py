@@ -1,0 +1,130 @@
+"""Tests for Section VII analyses (power problems)."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import (
+    POWER_TRIGGERS,
+    PowerAnalysisError,
+    environment_breakdown,
+    hardware_component_impact,
+    hardware_impact,
+    maintenance_impact,
+    software_impact,
+    software_subtype_impact,
+    time_space_layout,
+)
+from repro.records.dataset import HardwareGroup, SystemDataset
+from repro.records.taxonomy import (
+    Category,
+    EnvironmentSubtype,
+    HardwareSubtype,
+    SoftwareSubtype,
+)
+from repro.records.timeutil import ObservationPeriod, Span
+
+
+class TestEnvironmentBreakdown:
+    def test_figure9_shape(self, medium_archive):
+        bd = environment_breakdown(list(medium_archive))
+        assert sum(bd.values()) == pytest.approx(1.0)
+        # Paper: outages are the largest share (49%), chillers/other small.
+        assert bd[EnvironmentSubtype.POWER_OUTAGE] == max(bd.values())
+        assert bd[EnvironmentSubtype.POWER_OUTAGE] > 0.25
+        assert bd[EnvironmentSubtype.CHILLER] < 0.2
+
+    def test_rejects_env_free_systems(self):
+        ds = SystemDataset(
+            system_id=1,
+            group=HardwareGroup.GROUP1,
+            num_nodes=2,
+            processors_per_node=4,
+            period=ObservationPeriod(0.0, 40.0),
+        )
+        with pytest.raises(PowerAnalysisError):
+            environment_breakdown([ds])
+
+
+class TestHardwareImpact:
+    def test_all_triggers_increase_hw_failures(self, medium_archive):
+        cells = hardware_impact(list(medium_archive), spans=[Span.MONTH])
+        assert len(cells) == 4
+        for cell in cells:
+            assert cell.comparison.factor > 2.0
+            assert cell.comparison.test.significant
+
+    def test_spike_delayed_effect(self, medium_archive):
+        # Paper: spikes act at longer timespans; their day factor is the
+        # smallest of the four triggers' day factors.
+        cells = hardware_impact(list(medium_archive), spans=[Span.DAY])
+        by = {c.trigger: c.comparison.factor for c in cells}
+        others = [
+            v for k, v in by.items() if k is not EnvironmentSubtype.POWER_SPIKE
+        ]
+        assert by[EnvironmentSubtype.POWER_SPIKE] < max(others)
+
+    def test_components_react_except_cpu(self, medium_archive):
+        cells = hardware_component_impact(list(medium_archive))
+        by = {
+            (c.trigger, c.target): c.comparison.factor for c in cells
+        }
+        outage = EnvironmentSubtype.POWER_OUTAGE
+        # Node boards and PSUs react more than CPUs after outages.
+        assert by[(outage, HardwareSubtype.NODE_BOARD)] > by[
+            (outage, HardwareSubtype.CPU)
+        ]
+        assert by[(outage, HardwareSubtype.POWER_SUPPLY)] > 0.8 * by[
+            (outage, HardwareSubtype.CPU)
+        ]
+
+
+class TestSoftwareImpact:
+    def test_outage_strongest_for_software(self, medium_archive):
+        cells = software_impact(list(medium_archive), spans=[Span.WEEK])
+        by = {c.trigger: c.comparison.factor for c in cells}
+        assert by[EnvironmentSubtype.POWER_OUTAGE] == max(by.values())
+        assert by[EnvironmentSubtype.POWER_OUTAGE] > 5.0
+
+    def test_storage_dominates_subtypes(self, medium_archive):
+        cells = software_subtype_impact(list(medium_archive))
+        outage_cells = {
+            c.target: c.comparison
+            for c in cells
+            if c.trigger is EnvironmentSubtype.POWER_OUTAGE
+        }
+        dst = outage_cells[SoftwareSubtype.DST].conditional.value
+        os_ = outage_cells[SoftwareSubtype.OS].conditional.value
+        assert dst > os_
+
+
+class TestMaintenanceImpact:
+    def test_large_factors(self, medium_archive):
+        cells = maintenance_impact(list(medium_archive))
+        assert len(cells) == 4
+        by = {c.trigger: c.comparison for c in cells}
+        for trig in (
+            EnvironmentSubtype.POWER_OUTAGE,
+            EnvironmentSubtype.UPS,
+        ):
+            assert by[trig].factor > 5.0
+            assert by[trig].test.significant
+        # Paper: PSU failures inflate maintenance less than outages.
+        assert (
+            by[HardwareSubtype.POWER_SUPPLY].conditional.value
+            < by[EnvironmentSubtype.POWER_OUTAGE].conditional.value
+        )
+
+
+class TestTimeSpaceLayout:
+    def test_figure12_shape(self, medium_archive):
+        layout = time_space_layout(medium_archive[2])
+        assert set(layout.points) == set(POWER_TRIGGERS)
+        for sub, (times, nodes) in layout.points.items():
+            assert times.shape == nodes.shape
+        # PSU failures concentrate on weak nodes: repeat share high.
+        psu = layout.repeat_share[HardwareSubtype.POWER_SUPPLY]
+        assert psu > 0.2
+
+    def test_outages_spread_over_nodes(self, medium_archive):
+        layout = time_space_layout(medium_archive[2])
+        assert layout.node_spread[EnvironmentSubtype.POWER_OUTAGE] > 1

@@ -1,0 +1,111 @@
+"""Tests for the Section X joint regression and the report renderer."""
+
+import pytest
+
+from repro.core.regression import (
+    RegressionAnalysisError,
+    TABLE1_PREDICTORS,
+    build_design_matrix,
+    fit_joint_regression,
+    render_coefficient_table,
+)
+from repro.core.report import full_report
+from repro.records.dataset import Archive
+
+
+class TestDesignMatrix:
+    def test_shape(self, medium_archive):
+        d = build_design_matrix(medium_archive[20])
+        assert d.X.shape[1] == len(TABLE1_PREDICTORS)
+        assert d.X.shape[0] == d.y.shape[0] == d.node_ids.shape[0]
+        assert d.names == TABLE1_PREDICTORS
+
+    def test_requires_all_sources(self, medium_archive):
+        with pytest.raises(RegressionAnalysisError):
+            build_design_matrix(medium_archive[18])  # no usage/temps
+        with pytest.raises(RegressionAnalysisError):
+            build_design_matrix(medium_archive[8])   # no temperature
+
+    def test_without_node(self, medium_archive):
+        d = build_design_matrix(medium_archive[20])
+        d2 = d.without_node(0)
+        assert d2.X.shape[0] == d.X.shape[0] - 1
+        assert 0 not in d2.node_ids
+        with pytest.raises(RegressionAnalysisError):
+            d.without_node(999_999)
+
+    def test_subset(self, medium_archive):
+        d = build_design_matrix(medium_archive[20])
+        d2 = d.subset(("num_jobs", "util"))
+        assert d2.X.shape[1] == 2
+        with pytest.raises(RegressionAnalysisError):
+            d.subset(("bogus",))
+
+
+class TestJointRegression:
+    def test_tables_2_and_3_sign_pattern(self, medium_archive):
+        """The paper's Table II/III: num_jobs (+) and util (-) are the
+        significant predictors in BOTH models; temperature is not."""
+        r = fit_joint_regression(medium_archive[20])
+        sig = r.significant_predictors()
+        assert "num_jobs" in sig
+        for model in (r.poisson, r.negbin):
+            assert model.coefficient("num_jobs").estimate > 0
+            assert model.coefficient("util").estimate < 0
+            # util at 5% here (the fixture is ~1/3 of LANL's system 20);
+            # the 1% both-models claim is enforced at benchmark scale.
+            assert model.coefficient("util").significant(0.05)
+        # Temperature predictors never survive both models (the paper's
+        # conclusion); individual Poisson flickers on overdispersed
+        # counts are expected -- the paper's own Table II shows one for
+        # max_temp.
+        for name in ("avg_temp", "max_temp", "temp_var", "num_hightemp"):
+            assert name not in sig
+            assert not r.negbin.coefficient(name).significant(0.01)
+
+    def test_reruns_present(self, medium_archive):
+        r = fit_joint_regression(medium_archive[20])
+        assert r.poisson_without_prone is not None
+        # Paper: utilization remains significant after removing node 0.
+        # At this fixture's size (~150 nodes vs the paper's 512) the
+        # rerun is underpowered, so we assert the direction here; the
+        # significance claim is enforced at benchmark scale
+        # (benchmarks/bench_table23.py::test_robustness_reruns).
+        assert r.poisson_without_prone.coefficient("util").estimate < 0
+        if r.significant_only is not None:
+            assert len(r.significant_only.coefficients) < len(
+                r.poisson.coefficients
+            )
+
+    def test_render_table(self, medium_archive):
+        r = fit_joint_regression(medium_archive[20])
+        text = render_coefficient_table(r.poisson)
+        assert "(Intercept)" in text
+        assert "num_jobs" in text
+        nb_text = render_coefficient_table(r.negbin)
+        assert "alpha" in nb_text
+
+
+class TestFullReport:
+    def test_runs_and_mentions_each_section(self, medium_archive):
+        text = full_report(medium_archive)
+        for needle in (
+            "Section III",
+            "Section IV",
+            "Sections V-VI",
+            "Section VII",
+            "Section VIII",
+            "Section IX",
+            "Section X",
+            "Figure 9",
+            "Table II",
+            "inter-arrival",
+            "repair times and availability",
+            "lifecycle",
+        ):
+            assert needle in text
+
+    def test_degrades_without_optional_data(self, medium_archive):
+        bare = Archive([medium_archive[18]])
+        text = full_report(bare)
+        assert "skipped" in text

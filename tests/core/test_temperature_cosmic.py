@@ -1,0 +1,100 @@
+"""Tests for Section VIII (temperature) and IX (cosmic rays) analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.cosmic import (
+    CosmicAnalysisError,
+    cosmic_ray_analysis,
+    monthly_failure_probability,
+    neutron_correlation,
+)
+from repro.core.temperature import (
+    TemperatureAnalysisError,
+    fan_chiller_impact,
+    temperature_regressions,
+    thermal_component_impact,
+)
+from repro.records.dataset import Archive
+from repro.records.taxonomy import (
+    Category,
+    EnvironmentSubtype,
+    HardwareSubtype,
+)
+from repro.records.timeutil import Span
+
+
+class TestTemperatureRegressions:
+    def test_average_temperature_not_significant(self, medium_archive):
+        # The paper's (and [3]'s) null result: avg/max/var temperature do
+        # not predict hardware failures.
+        r = temperature_regressions(medium_archive[20])
+        # The overdispersion-robust criterion: the Poisson model alone
+        # may flag a predictor on outlier-heavy counts (the paper's own
+        # Table II max_temp artifact), but nothing survives the NB fit.
+        assert not r.robustly_significant
+        assert r.poisson.converged
+        assert r.negbin.converged
+
+    def test_per_component_also_null(self, medium_archive):
+        for target in (HardwareSubtype.CPU, HardwareSubtype.MEMORY):
+            r = temperature_regressions(medium_archive[20], target=target)
+            assert not r.robustly_significant
+
+    def test_requires_temperature_data(self, medium_archive):
+        with pytest.raises(TemperatureAnalysisError):
+            temperature_regressions(medium_archive[18])
+
+
+class TestFanChillerImpact:
+    def test_fan_stronger_than_chiller(self, medium_archive):
+        # Weekly window: chiller events are rare in a scaled-down
+        # archive, so the day window has too few trials to compare.
+        cells = fan_chiller_impact(list(medium_archive), spans=[Span.WEEK])
+        by = {c.trigger: c.comparison.factor for c in cells}
+        assert by[HardwareSubtype.FAN] > by[EnvironmentSubtype.CHILLER] > 1.0
+
+    def test_factors_significant(self, medium_archive):
+        for cell in fan_chiller_impact(list(medium_archive), spans=[Span.WEEK]):
+            assert cell.comparison.test.significant
+
+    def test_components_react_more_than_cpu(self, medium_archive):
+        cells = thermal_component_impact(list(medium_archive))
+        fan_cells = {
+            c.target: c.comparison.factor
+            for c in cells
+            if c.trigger is HardwareSubtype.FAN
+        }
+        assert fan_cells[HardwareSubtype.MEMORY] > fan_cells[HardwareSubtype.CPU]
+        assert fan_cells[HardwareSubtype.FAN] > fan_cells[HardwareSubtype.CPU]
+
+
+class TestCosmic:
+    def test_dram_null_cpu_positive(self, medium_archive):
+        """The injected ground truth: CPU couples to flux, DRAM does not."""
+        rs = cosmic_ray_analysis(medium_archive, system_ids=(18, 19, 20))
+        cpu = [r for r in rs if r.subtype is HardwareSubtype.CPU]
+        dram = [r for r in rs if r.subtype is HardwareSubtype.MEMORY]
+        cpu_mean = np.mean([r.pearson.coefficient for r in cpu if r.pearson])
+        dram_mean = np.mean([r.pearson.coefficient for r in dram if r.pearson])
+        assert cpu_mean > dram_mean
+        assert cpu_mean > 0.1
+        assert abs(dram_mean) < 0.25
+
+    def test_monthly_probability_bounds(self, medium_archive):
+        p = monthly_failure_probability(
+            medium_archive[18], HardwareSubtype.CPU
+        )
+        assert ((p >= 0) & (p <= 1)).all()
+        assert p.sum() > 0
+
+    def test_requires_neutron_series(self, medium_archive):
+        bare = Archive([medium_archive[18]])
+        with pytest.raises(CosmicAnalysisError):
+            neutron_correlation(bare, bare[18], HardwareSubtype.CPU)
+
+    def test_flux_axis_in_paper_range(self, medium_archive):
+        r = neutron_correlation(
+            medium_archive, medium_archive[18], HardwareSubtype.CPU
+        )
+        assert 3000 < r.monthly_counts.mean() < 5000

@@ -1,0 +1,76 @@
+"""Tests for Sections V and VI analyses (usage and user effects)."""
+
+import numpy as np
+import pytest
+
+from repro.core.usage import (
+    UsageAnalysisError,
+    node_usage,
+    usage_failure_correlation,
+)
+from repro.core.users import UserAnalysisError, user_failure_rates
+
+
+class TestUsageCorrelation:
+    def test_requires_job_log(self, medium_archive):
+        with pytest.raises(UsageAnalysisError):
+            usage_failure_correlation(medium_archive[18])
+
+    def test_positive_correlation_via_prone_node(self, medium_archive):
+        for sid in (8, 20):
+            r = usage_failure_correlation(medium_archive[sid])
+            # Paper: clearly positive Pearson coefficients...
+            assert r.jobs_pearson.coefficient > 0.1
+            assert r.jobs_pearson.significant
+            # ... mostly due to node 0: removing it kills the correlation.
+            assert r.prone_node == 0
+            wo = r.jobs_pearson_without_prone
+            assert wo is not None
+            assert abs(wo.coefficient) < r.jobs_pearson.coefficient
+
+    def test_node0_highest_usage(self, medium_archive):
+        r = usage_failure_correlation(medium_archive[20])
+        assert r.num_jobs.argmax() == 0
+        assert r.utilization[0] > np.median(r.utilization)
+
+    def test_arrays_aligned(self, medium_archive):
+        r = usage_failure_correlation(medium_archive[20])
+        n = medium_archive[20].num_nodes
+        assert r.failures.shape == (n,)
+        assert r.utilization.shape == (n,)
+        assert r.num_jobs.shape == (n,)
+
+    def test_node_usage_summaries(self, medium_archive):
+        out = node_usage(medium_archive[20])
+        assert len(out) == medium_archive[20].num_nodes
+        assert all(0.0 <= u.utilization <= 1.0 for u in out)
+
+    def test_node_usage_requires_jobs(self, medium_archive):
+        with pytest.raises(UsageAnalysisError):
+            node_usage(medium_archive[19])
+
+
+class TestUserRates:
+    def test_requires_job_log(self, medium_archive):
+        with pytest.raises(UserAnalysisError):
+            user_failure_rates(medium_archive[18])
+
+    def test_rates_skewed_and_significant(self, medium_archive):
+        r = user_failure_rates(medium_archive[20])
+        # Paper: >400 users; large discrepancy between user rates; the
+        # saturated model significantly beats the common-rate model.
+        assert r.total_users > 200
+        assert len(r.users) <= 50
+        assert r.rate_spread > 3.0
+        assert r.anova.significant
+
+    def test_rates_are_per_processor_day(self, medium_archive):
+        r = user_failure_rates(medium_archive[20])
+        for u in r.users[:5]:
+            assert u.failures_per_processor_day == pytest.approx(
+                u.node_failed_jobs / u.processor_days
+            )
+
+    def test_top_k_respected(self, medium_archive):
+        r = user_failure_rates(medium_archive[20], top_k=10)
+        assert len(r.users) <= 10

@@ -1,0 +1,92 @@
+"""Tests for the checkpoint-interval advisor."""
+
+import math
+
+import pytest
+
+from repro.core.windows import Scope
+from repro.prediction.checkpoint import (
+    CheckpointError,
+    advise,
+    advise_after_failures,
+    daly_interval,
+    efficiency,
+    risk_adjusted_mtbf,
+    young_interval,
+)
+from repro.prediction.risk import RecentFailure, RiskModel
+from repro.records.taxonomy import Category
+
+
+class TestFormulas:
+    def test_young_known_value(self):
+        # C=0.5h, M=100h -> sqrt(2*0.5*100) = 10h.
+        assert young_interval(0.5, 100.0) == pytest.approx(10.0)
+
+    def test_daly_close_to_young_for_small_cost(self):
+        y = young_interval(0.01, 1000.0)
+        d = daly_interval(0.01, 1000.0)
+        assert d == pytest.approx(y, rel=0.05)
+
+    def test_daly_degenerate_for_large_cost(self):
+        assert daly_interval(60.0, 100.0) == 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CheckpointError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(CheckpointError):
+            daly_interval(1.0, 0.0)
+
+    def test_shorter_mtbf_means_shorter_interval(self):
+        assert young_interval(0.5, 10.0) < young_interval(0.5, 1000.0)
+
+
+class TestEfficiency:
+    def test_bounded(self):
+        e = efficiency(10.0, 0.5, 100.0)
+        assert 0.0 < e < 1.0
+
+    def test_optimal_interval_beats_extremes(self):
+        c, m = 0.5, 100.0
+        opt = efficiency(daly_interval(c, m), c, m)
+        assert opt > efficiency(0.5, c, m)
+        assert opt > efficiency(80.0, c, m)
+
+    def test_restart_cost_lowers_efficiency(self):
+        base = efficiency(10.0, 0.5, 100.0)
+        with_restart = efficiency(10.0, 0.5, 100.0, restart_cost_hours=5.0)
+        assert with_restart < base
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(CheckpointError):
+            efficiency(0.0, 0.5, 100.0)
+
+
+class TestAdvise:
+    def test_consistent(self):
+        a = advise(0.5, 200.0)
+        assert a.young_hours == pytest.approx(young_interval(0.5, 200.0))
+        assert a.daly_hours == pytest.approx(daly_interval(0.5, 200.0))
+        assert 0.0 < a.efficiency_at_daly < 1.0
+
+
+class TestRiskAdjusted:
+    @pytest.fixture(scope="class")
+    def model(self, group1):
+        return RiskModel.fit(group1)
+
+    def test_mtbf_consistent_with_baseline(self, model):
+        mtbf = risk_adjusted_mtbf(model, [])
+        horizon_h = model.horizon.days * 24.0
+        expected = horizon_h / (-math.log(1.0 - model.baseline))
+        assert mtbf == pytest.approx(expected)
+
+    def test_recent_failure_shrinks_interval(self, model):
+        quiet = advise_after_failures(model, [], checkpoint_cost_hours=0.25)
+        shaken = advise_after_failures(
+            model,
+            [RecentFailure(0.0, Category.ENVIRONMENT, Scope.NODE)],
+            checkpoint_cost_hours=0.25,
+        )
+        assert shaken.daly_hours < quiet.daly_hours
+        assert shaken.mtbf_hours < quiet.mtbf_hours

@@ -1,0 +1,93 @@
+"""Tests for the follow-up-failure risk model."""
+
+import pytest
+
+from repro.core.windows import Scope
+from repro.prediction.risk import RecentFailure, RiskModel, RiskModelError
+from repro.records.taxonomy import Category
+from repro.records.timeutil import Span
+
+
+@pytest.fixture(scope="module")
+def model(group1):
+    return RiskModel.fit(group1)
+
+
+class TestFit:
+    def test_baseline_positive(self, model):
+        assert 0.0 < model.baseline < 1.0
+
+    def test_conditionals_cover_scopes(self, model):
+        scopes = {scope for scope, _cat in model.conditional}
+        assert Scope.NODE in scopes
+        assert Scope.SYSTEM in scopes
+        assert Scope.RACK in scopes  # group-1 systems carry layouts
+
+    def test_rack_skipped_without_layouts(self, group2):
+        m = RiskModel.fit(group2)
+        assert not any(s is Scope.RACK for s, _ in m.conditional)
+
+    def test_requires_systems(self):
+        with pytest.raises(RiskModelError):
+            RiskModel.fit([])
+
+
+class TestScore:
+    def test_no_history_is_baseline(self, model):
+        assert model.score() == pytest.approx(model.baseline, rel=1e-9)
+
+    def test_recent_failure_raises_risk(self, model):
+        event = RecentFailure(
+            age_days=0.0, category=Category.HARDWARE, scope=Scope.NODE
+        )
+        assert model.score([event]) > model.baseline
+
+    def test_env_failure_raises_more_than_human(self, model):
+        env = RecentFailure(0.0, Category.ENVIRONMENT, Scope.NODE)
+        human = RecentFailure(0.0, Category.HUMAN, Scope.NODE)
+        assert model.score([env]) > model.score([human])
+
+    def test_node_scope_dominates_system_scope(self, model):
+        node = RecentFailure(0.0, Category.HARDWARE, Scope.NODE)
+        system = RecentFailure(0.0, Category.HARDWARE, Scope.SYSTEM)
+        assert model.score([node]) > model.score([system])
+
+    def test_old_events_decay_to_baseline(self, model):
+        stale = RecentFailure(
+            age_days=model.horizon.days + 1,
+            category=Category.NETWORK,
+            scope=Scope.NODE,
+        )
+        assert model.score([stale]) == pytest.approx(model.baseline, rel=1e-9)
+
+    def test_age_reduces_contribution(self, model):
+        fresh = RecentFailure(0.0, Category.NETWORK, Scope.NODE)
+        old = RecentFailure(5.0, Category.NETWORK, Scope.NODE)
+        assert model.score([fresh]) > model.score([old])
+
+    def test_multiple_events_compound(self, model):
+        e = RecentFailure(0.0, Category.HARDWARE, Scope.NODE)
+        assert model.score([e, e]) > model.score([e])
+
+    def test_always_a_probability(self, model):
+        events = [
+            RecentFailure(0.0, cat, Scope.NODE) for cat in Category
+        ] * 10
+        assert 0.0 < model.score(events) < 1.0
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(RiskModelError):
+            RecentFailure(-1.0, Category.HARDWARE, Scope.NODE)
+
+
+class TestRanking:
+    def test_env_or_net_node_scope_on_top(self, model):
+        ranked = model.rank_factors()
+        top_scope, top_cat, top_factor = ranked[0]
+        assert top_scope is Scope.NODE
+        assert top_cat in (Category.ENVIRONMENT, Category.NETWORK)
+        assert top_factor > 3.0
+
+    def test_sorted_descending(self, model):
+        factors = [f for _, _, f in model.rank_factors()]
+        assert factors == sorted(factors, reverse=True)

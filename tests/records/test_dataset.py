@@ -1,0 +1,151 @@
+"""Unit tests for dataset containers and the columnar failure table."""
+
+import numpy as np
+import pytest
+
+from repro.records.dataset import (
+    Archive,
+    DatasetError,
+    FailureTable,
+    HardwareGroup,
+    SystemDataset,
+)
+from repro.records.failure import FailureRecord
+from repro.records.layout import regular_layout
+from repro.records.taxonomy import Category, HardwareSubtype, SoftwareSubtype
+from repro.records.timeutil import ObservationPeriod
+
+
+def fail(time, node=0, cat=Category.HARDWARE, sub=None, system=20):
+    return FailureRecord(
+        time=time, system_id=system, node_id=node, category=cat, subtype=sub
+    )
+
+
+def dataset(failures=(), num_nodes=4, system=20, **kw):
+    return SystemDataset(
+        system_id=system,
+        group=HardwareGroup.GROUP1,
+        num_nodes=num_nodes,
+        processors_per_node=4,
+        period=ObservationPeriod(0.0, 100.0),
+        failures=tuple(failures),
+        **kw,
+    )
+
+
+class TestFailureTable:
+    def test_sorted_and_indexed(self):
+        t = FailureTable(
+            [fail(5.0, node=1), fail(1.0, node=2, sub=HardwareSubtype.CPU)]
+        )
+        assert t.times.tolist() == [1.0, 5.0]
+        assert t.node_ids.tolist() == [2, 1]
+        assert len(t) == 2
+        assert t.record(0).node_id == 2
+
+    def test_mask_by_category(self):
+        t = FailureTable([fail(1.0), fail(2.0, cat=Category.SOFTWARE)])
+        assert t.mask(category=Category.HARDWARE).tolist() == [True, False]
+
+    def test_mask_by_subtype(self):
+        t = FailureTable(
+            [fail(1.0, sub=HardwareSubtype.MEMORY), fail(2.0, sub=HardwareSubtype.CPU)]
+        )
+        m = t.mask(subtype=HardwareSubtype.MEMORY)
+        assert m.tolist() == [True, False]
+
+    def test_mask_subtype_conflicting_category(self):
+        t = FailureTable([fail(1.0, sub=HardwareSubtype.MEMORY)])
+        with pytest.raises(DatasetError):
+            t.mask(category=Category.SOFTWARE, subtype=HardwareSubtype.MEMORY)
+
+    def test_mask_by_node(self):
+        t = FailureTable([fail(1.0, node=0), fail(2.0, node=3)])
+        assert t.mask(node_id=3).tolist() == [False, True]
+
+    def test_select(self):
+        t = FailureTable([fail(1.0, node=0), fail(2.0, node=1, cat=Category.NETWORK)])
+        times, nodes = t.select(category=Category.NETWORK)
+        assert times.tolist() == [2.0]
+        assert nodes.tolist() == [1]
+
+    def test_empty(self):
+        t = FailureTable([])
+        assert len(t) == 0
+        assert t.mask(category=Category.HARDWARE).shape == (0,)
+
+
+class TestSystemDataset:
+    def test_valid(self):
+        ds = dataset([fail(1.0), fail(2.0, node=3)])
+        assert len(ds.failures) == 2
+        assert ds.total_processors == 16
+
+    def test_sorts_failures(self):
+        ds = dataset([fail(5.0), fail(1.0)])
+        assert ds.failures[0].time == 1.0
+
+    def test_rejects_wrong_system_id(self):
+        with pytest.raises(DatasetError):
+            dataset([fail(1.0, system=99)])
+
+    def test_rejects_node_out_of_range(self):
+        with pytest.raises(DatasetError):
+            dataset([fail(1.0, node=10)], num_nodes=4)
+
+    def test_rejects_failure_outside_period(self):
+        with pytest.raises(DatasetError):
+            dataset([fail(150.0)])
+
+    def test_rejects_inconsistent_layout(self):
+        with pytest.raises(DatasetError):
+            dataset([], num_nodes=4, layout=regular_layout(6))
+
+    def test_failure_counts_per_node(self):
+        ds = dataset([fail(1.0, node=1), fail(2.0, node=1), fail(3.0, node=3)])
+        assert ds.failure_counts_per_node().tolist() == [0, 2, 0, 1]
+
+    def test_failures_of_node(self):
+        ds = dataset([fail(1.0, node=1), fail(2.0, node=2)])
+        assert len(ds.failures_of_node(1)) == 1
+        with pytest.raises(DatasetError):
+            ds.failures_of_node(10)
+
+    def test_capability_flags(self):
+        ds = dataset([])
+        assert not ds.has_usage
+        assert not ds.has_temperature
+        assert not ds.has_layout
+
+    def test_failure_table_cached(self):
+        ds = dataset([fail(1.0)])
+        assert ds.failure_table is ds.failure_table
+
+
+class TestArchive:
+    def test_basic(self):
+        a = Archive([dataset([], system=1), dataset([], system=2)])
+        assert len(a) == 2
+        assert a.system_ids == (1, 2)
+        assert a[1].system_id == 1
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DatasetError):
+            Archive([dataset([], system=1), dataset([], system=1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Archive([])
+
+    def test_unknown_system(self):
+        a = Archive([dataset([], system=1)])
+        with pytest.raises(DatasetError):
+            a[99]
+
+    def test_group_and_totals(self):
+        a = Archive([dataset([fail(1.0, system=1)], system=1)])
+        assert a.total_nodes() == 4
+        assert a.total_failures() == 1
+        assert a.total_failures(HardwareGroup.GROUP2) == 0
+        assert len(a.group(HardwareGroup.GROUP1)) == 1

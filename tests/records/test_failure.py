@@ -1,0 +1,95 @@
+"""Unit tests for failure and maintenance records."""
+
+import pytest
+
+from repro.records.failure import FailureRecord, MaintenanceRecord, RecordError
+from repro.records.taxonomy import Category, HardwareSubtype, SoftwareSubtype
+
+
+def make(time=1.0, node=0, cat=Category.HARDWARE, sub=None, **kw):
+    return FailureRecord(
+        time=time, system_id=20, node_id=node, category=cat, subtype=sub, **kw
+    )
+
+
+class TestFailureRecord:
+    def test_valid(self):
+        f = make(sub=HardwareSubtype.MEMORY, downtime_hours=2.5)
+        assert f.downtime_hours == 2.5
+
+    def test_ordering_by_time(self):
+        a, b = make(time=1.0), make(time=2.0)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(RecordError):
+            make(time=-1.0)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(RecordError):
+            make(node=-1)
+
+    def test_rejects_negative_downtime(self):
+        with pytest.raises(RecordError):
+            make(downtime_hours=-0.1)
+
+    def test_rejects_mismatched_subtype(self):
+        with pytest.raises(RecordError):
+            make(cat=Category.SOFTWARE, sub=HardwareSubtype.CPU)
+
+    def test_frozen(self):
+        f = make()
+        with pytest.raises(AttributeError):
+            f.time = 5.0  # type: ignore[misc]
+
+
+class TestMatches:
+    def test_matches_nothing_is_true(self):
+        assert make().matches()
+
+    def test_matches_category(self):
+        f = make(cat=Category.SOFTWARE, sub=SoftwareSubtype.DST)
+        assert f.matches(category=Category.SOFTWARE)
+        assert not f.matches(category=Category.HARDWARE)
+
+    def test_matches_subtype(self):
+        f = make(sub=HardwareSubtype.MEMORY)
+        assert f.matches(subtype=HardwareSubtype.MEMORY)
+        assert not f.matches(subtype=HardwareSubtype.CPU)
+
+    def test_matches_subtype_with_consistent_category(self):
+        f = make(sub=HardwareSubtype.MEMORY)
+        assert f.matches(category=Category.HARDWARE, subtype=HardwareSubtype.MEMORY)
+
+    def test_matches_conflicting_filters_raise(self):
+        f = make(sub=HardwareSubtype.MEMORY)
+        with pytest.raises(RecordError):
+            f.matches(category=Category.SOFTWARE, subtype=HardwareSubtype.MEMORY)
+
+    def test_no_subtype_never_matches_subtype_filter(self):
+        assert not make(sub=None).matches(subtype=HardwareSubtype.MEMORY)
+
+
+class TestMaintenanceRecord:
+    def test_valid(self):
+        m = MaintenanceRecord(
+            time=3.0, system_id=20, node_id=1, hardware_related=True,
+            duration_hours=4.0,
+        )
+        assert m.hardware_related
+
+    def test_ordering(self):
+        a = MaintenanceRecord(time=1.0, system_id=20, node_id=0)
+        b = MaintenanceRecord(time=2.0, system_id=20, node_id=0)
+        assert a < b
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(RecordError):
+            MaintenanceRecord(time=-1.0, system_id=20, node_id=0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(RecordError):
+            MaintenanceRecord(
+                time=1.0, system_id=20, node_id=0, duration_hours=-1.0
+            )

@@ -1,0 +1,121 @@
+"""Round-trip and failure-injection tests for archive I/O."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.records.dataset import Archive
+from repro.records.io import (
+    ArchiveIOError,
+    load_archive,
+    read_failures,
+    save_archive,
+    write_failures,
+)
+
+
+class TestRoundTrip:
+    def test_full_archive_round_trip(self, tiny_archive: Archive, tmp_path: Path):
+        save_archive(tiny_archive, tmp_path / "arch")
+        loaded = load_archive(tmp_path / "arch")
+        assert loaded.system_ids == tiny_archive.system_ids
+        for sid in tiny_archive.system_ids:
+            orig, back = tiny_archive[sid], loaded[sid]
+            assert back.num_nodes == orig.num_nodes
+            assert back.group == orig.group
+            assert len(back.failures) == len(orig.failures)
+            assert len(back.maintenance) == len(orig.maintenance)
+            assert len(back.jobs) == len(orig.jobs)
+            assert len(back.temperatures) == len(orig.temperatures)
+            assert back.has_layout == orig.has_layout
+            for a, b in zip(orig.failures[:50], back.failures[:50]):
+                assert a.time == pytest.approx(b.time, abs=1e-5)
+                assert a.node_id == b.node_id
+                assert a.category == b.category
+                assert a.subtype == b.subtype
+        assert len(loaded.neutron_series) == len(tiny_archive.neutron_series)
+
+    def test_save_is_deterministic(self, tiny_archive: Archive, tmp_path: Path):
+        save_archive(tiny_archive, tmp_path / "a")
+        save_archive(tiny_archive, tmp_path / "b")
+        sid = tiny_archive.system_ids[0]
+        fa = (tmp_path / "a" / f"system-{sid}" / "failures.csv").read_text()
+        fb = (tmp_path / "b" / f"system-{sid}" / "failures.csv").read_text()
+        assert fa == fb
+
+    def test_jobs_preserved(self, tiny_archive: Archive, tmp_path: Path):
+        save_archive(tiny_archive, tmp_path / "arch")
+        loaded = load_archive(tmp_path / "arch")
+        usage_systems = [ds for ds in tiny_archive if ds.has_usage]
+        assert usage_systems, "fixture should include a usage system"
+        for ds in usage_systems:
+            back = loaded[ds.system_id]
+            orig_failed = sum(j.failed_due_to_node for j in ds.jobs)
+            back_failed = sum(j.failed_due_to_node for j in back.jobs)
+            assert orig_failed == back_failed
+
+
+class TestMalformedInput:
+    def test_missing_directory(self, tmp_path: Path):
+        with pytest.raises(ArchiveIOError):
+            load_archive(tmp_path / "nope")
+
+    def test_missing_failures_file(self, tiny_archive: Archive, tmp_path: Path):
+        root = tmp_path / "arch"
+        save_archive(tiny_archive, root)
+        sid = tiny_archive.system_ids[0]
+        (root / f"system-{sid}" / "failures.csv").unlink()
+        with pytest.raises(ArchiveIOError):
+            load_archive(root)
+
+    def test_wrong_header(self, tmp_path: Path):
+        p = tmp_path / "failures.csv"
+        p.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ArchiveIOError, match="header"):
+            read_failures(p, system_id=1)
+
+    def test_bad_number(self, tmp_path: Path):
+        p = tmp_path / "failures.csv"
+        p.write_text(
+            "time,node_id,category,subtype,downtime_hours\n"
+            "oops,0,HW,,1.0\n"
+        )
+        with pytest.raises(ArchiveIOError, match="not a number"):
+            read_failures(p, system_id=1)
+
+    def test_bad_category(self, tmp_path: Path):
+        p = tmp_path / "failures.csv"
+        p.write_text(
+            "time,node_id,category,subtype,downtime_hours\n"
+            "1.0,0,NOPE,,1.0\n"
+        )
+        with pytest.raises(Exception):
+            read_failures(p, system_id=1)
+
+    def test_short_row(self, tmp_path: Path):
+        p = tmp_path / "failures.csv"
+        p.write_text(
+            "time,node_id,category,subtype,downtime_hours\n"
+            "1.0,0\n"
+        )
+        with pytest.raises(ArchiveIOError, match="short row"):
+            read_failures(p, system_id=1)
+
+    def test_corrupt_systems_csv(self, tiny_archive: Archive, tmp_path: Path):
+        root = tmp_path / "arch"
+        save_archive(tiny_archive, root)
+        systems = root / "systems.csv"
+        content = systems.read_text().replace("group-1", "group-9")
+        systems.write_text(content)
+        with pytest.raises(ArchiveIOError, match="group"):
+            load_archive(root)
+
+
+class TestWriters:
+    def test_write_failures_sorted(self, tiny_archive: Archive, tmp_path: Path):
+        ds = tiny_archive[list(tiny_archive.system_ids)[0]]
+        p = tmp_path / "f.csv"
+        write_failures(p, list(reversed(ds.failures)))
+        back = read_failures(p, ds.system_id)
+        times = [f.time for f in back]
+        assert times == sorted(times)

@@ -1,0 +1,77 @@
+"""Tests for archive validation checks."""
+
+import pytest
+
+from repro.records.dataset import Archive, HardwareGroup, SystemDataset
+from repro.records.failure import FailureRecord
+from repro.records.taxonomy import Category
+from repro.records.timeutil import ObservationPeriod
+from repro.records.validation import Severity, validate_archive
+
+
+def fail(time, node=0):
+    return FailureRecord(
+        time=time, system_id=1, node_id=node, category=Category.HARDWARE
+    )
+
+
+def system(failures, num_nodes=10, period_end=400.0):
+    return SystemDataset(
+        system_id=1,
+        group=HardwareGroup.GROUP1,
+        num_nodes=num_nodes,
+        processors_per_node=4,
+        period=ObservationPeriod(0.0, period_end),
+        failures=tuple(failures),
+    )
+
+
+class TestValidation:
+    def test_clean_archive_ok(self, tiny_archive):
+        report = validate_archive(tiny_archive)
+        assert report.ok
+
+    def test_no_failures_warns(self):
+        report = validate_archive(Archive([system([])]))
+        checks = {f.check for f in report}
+        assert "no-failures" in checks
+        assert report.ok  # warnings do not fail validation
+
+    def test_short_period_errors(self):
+        ds = system([fail(1.0)], period_end=10.0)
+        report = validate_archive(Archive([ds]))
+        assert not report.ok
+        assert any(f.check == "short-period" for f in report)
+
+    def test_failure_skew_flagged(self):
+        failures = [fail(float(i) % 300, node=0) for i in range(100)]
+        failures += [fail(float(n), node=n) for n in range(1, 20)]
+        report = validate_archive(Archive([system(failures, num_nodes=20)]))
+        assert any(f.check == "failure-skew" for f in report)
+
+    def test_storm_flagged(self):
+        failures = [fail(5.0 + i * 1e-4, node=i % 10) for i in range(60)]
+        report = validate_archive(Archive([system(failures)]))
+        assert any(f.check == "failure-storm" for f in report)
+
+    def test_mostly_silent_flagged(self):
+        failures = [fail(1.0, node=0)]
+        report = validate_archive(Archive([system(failures, num_nodes=100)]))
+        assert any(f.check == "mostly-silent" for f in report)
+
+    def test_archive_level_hints(self):
+        report = validate_archive(Archive([system([fail(1.0)])]))
+        checks = {f.check for f in report}
+        assert "no-neutrons" in checks
+        assert "no-usage" in checks
+        assert "no-layout" in checks
+
+    def test_render_mentions_severity(self):
+        report = validate_archive(Archive([system([])]))
+        text = report.render()
+        assert "warning" in text
+
+    def test_by_severity(self):
+        report = validate_archive(Archive([system([])]))
+        warnings = report.by_severity(Severity.WARNING)
+        assert all(f.severity is Severity.WARNING for f in warnings)

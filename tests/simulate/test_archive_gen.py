@@ -1,0 +1,76 @@
+"""Tests for end-to-end archive generation."""
+
+import numpy as np
+import pytest
+
+from repro.records.dataset import HardwareGroup
+from repro.records.taxonomy import Category
+from repro.records.validation import validate_archive
+from repro.simulate.archive import make_archive, quick_archive
+from repro.simulate.config import small_config
+
+
+class TestMakeArchive:
+    def test_structure(self, tiny_archive):
+        assert set(tiny_archive.system_ids) == {2, 3, 4, 5, 6, 8, 16, 18, 19, 20, 23}
+        assert tiny_archive.neutron_series
+        ds20 = tiny_archive[20]
+        assert ds20.has_usage and ds20.has_temperature and ds20.has_layout
+        ds2 = tiny_archive[2]
+        assert ds2.group is HardwareGroup.GROUP2
+        assert not ds2.has_layout
+
+    def test_validates_clean(self, tiny_archive):
+        assert validate_archive(tiny_archive).ok
+
+    def test_reproducible(self):
+        a = quick_archive(seed=11, years=1.0, scale=0.02)
+        b = quick_archive(seed=11, years=1.0, scale=0.02)
+        for sid in a.system_ids:
+            assert len(a[sid].failures) == len(b[sid].failures)
+            for fa, fb in zip(a[sid].failures[:20], b[sid].failures[:20]):
+                assert fa == fb and fa.category == fb.category
+
+    def test_seed_changes_output(self):
+        a = quick_archive(seed=1, years=1.0, scale=0.02)
+        b = quick_archive(seed=2, years=1.0, scale=0.02)
+        assert a.total_failures() != b.total_failures()
+
+    def test_every_system_has_failures(self, tiny_archive):
+        for ds in tiny_archive:
+            assert len(ds.failures) > 0
+
+    def test_failures_inside_period(self, tiny_archive):
+        for ds in tiny_archive:
+            for f in ds.failures:
+                assert ds.period.contains(f.time)
+
+    def test_hardware_share_roughly_sixty_percent(self, medium_archive):
+        # Paper: "60% of all failures are attributed to hardware problems"
+        g1 = medium_archive.group(HardwareGroup.GROUP1)
+        total = sum(len(ds.failures) for ds in g1)
+        hw = sum(
+            int(ds.failure_table.mask(category=Category.HARDWARE).sum())
+            for ds in g1
+        )
+        assert 0.40 < hw / total < 0.75
+
+    def test_group2_rates_higher_than_group1(self, medium_archive):
+        def daily_rate(group):
+            systems = medium_archive.group(group)
+            failures = sum(len(ds.failures) for ds in systems)
+            node_days = sum(ds.num_nodes * ds.period.length for ds in systems)
+            return failures / node_days
+
+        assert daily_rate(HardwareGroup.GROUP2) > 3 * daily_rate(
+            HardwareGroup.GROUP1
+        )
+
+    def test_job_failures_marked(self, medium_archive):
+        ds = medium_archive[20]
+        failed = [j for j in ds.jobs if j.failed_due_to_node]
+        assert failed
+        assert len(failed) < len(ds.jobs) * 0.5
+
+    def test_maintenance_present(self, tiny_archive):
+        assert any(ds.maintenance for ds in tiny_archive)

@@ -1,0 +1,132 @@
+"""Tests for cascade and stressor hazard state."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.records.taxonomy import Category
+from repro.simulate.config import CATEGORY_INDEX, EffectSizes, N_CATEGORIES
+from repro.simulate.hazards import (
+    BoostSchedule,
+    CascadeState,
+    StressorState,
+    sample_downtime,
+)
+
+HW = CATEGORY_INDEX[Category.HARDWARE]
+
+
+def cascade(nodes=10, rack=True, scale=1.0):
+    effects = EffectSizes()
+    rack_of = np.arange(nodes) // 5 if rack else None
+    return CascadeState(nodes, effects, scale, rack_of)
+
+
+class TestCascadeState:
+    def test_starts_at_zero(self):
+        c = cascade()
+        assert (c.boost == 0).all()
+
+    def test_decay(self):
+        c = cascade()
+        c.boost[:] = 1.0
+        c.decay()
+        expected = math.exp(-1.0 / EffectSizes().cascade_decay_days)
+        assert c.boost[0, 0] == pytest.approx(expected)
+
+    def test_absorb_same_node_dominant(self):
+        c = cascade()
+        c.absorb(np.array([3]), np.array([HW]))
+        effects = EffectSizes()
+        # Node 3 got the same-node HW row (plus tiny system term).
+        row = effects.same_node_cascade[HW]
+        assert c.boost[3, HW] >= row[HW]
+        # A node in another rack got only the system term.
+        sys_term = effects.same_system_cascade[HW][HW] / 10
+        assert c.boost[9, HW] == pytest.approx(sys_term)
+
+    def test_absorb_rack_neighbours(self):
+        c = cascade()
+        c.absorb(np.array([0]), np.array([HW]))
+        effects = EffectSizes()
+        rack_term = effects.same_rack_cascade[HW][HW]
+        sys_term = effects.same_system_cascade[HW][HW] / 10
+        # Node 1 shares rack 0 with node 0.
+        assert c.boost[1, HW] == pytest.approx(rack_term + sys_term)
+
+    def test_absorb_no_rack_mapping(self):
+        c = cascade(rack=False)
+        c.absorb(np.array([0]), np.array([HW]))
+        assert c.boost[0, HW] > 0
+        sys_term = EffectSizes().same_system_cascade[HW][HW] / 10
+        assert c.boost[5, HW] == pytest.approx(sys_term)
+
+    def test_absorb_empty_is_noop(self):
+        c = cascade()
+        c.absorb(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert (c.boost == 0).all()
+
+    def test_multiple_failures_accumulate(self):
+        c = cascade()
+        c.absorb(np.array([2, 2]), np.array([HW, HW]))
+        single = cascade()
+        single.absorb(np.array([2]), np.array([HW]))
+        assert c.boost[2, HW] == pytest.approx(2 * single.boost[2, HW])
+
+    def test_supercritical_configuration_rejected(self):
+        hot = [[0.5] * N_CATEGORIES for _ in range(N_CATEGORIES)]
+        effects = EffectSizes(same_node_cascade=hot)
+        with pytest.raises(ValueError, match="critical"):
+            CascadeState(10, effects, 1.0, None)
+
+    def test_system_boost_shrinks_with_size(self):
+        small = cascade(nodes=10, rack=False)
+        large = cascade(nodes=1000, rack=False)
+        small.absorb(np.array([0]), np.array([HW]))
+        large.absorb(np.array([0]), np.array([HW]))
+        assert small.boost[5, HW] > large.boost[5, HW]
+
+
+class TestBoostSchedule:
+    def test_add_and_pop(self):
+        s = BoostSchedule()
+        s.add(3, np.array([1, 2]), hw=0.5)
+        entries = s.pop(3)
+        assert len(entries) == 1
+        nodes, hw, sw, thermal = entries[0]
+        assert nodes.tolist() == [1, 2]
+        assert hw == 0.5
+        assert s.pop(3) == []  # consumed
+
+    def test_pop_missing_day(self):
+        assert BoostSchedule().pop(7) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BoostSchedule().add(0, np.array([0]), hw=-1.0)
+
+
+class TestStressorState:
+    def test_decay_rates_differ(self):
+        s = StressorState(5, EffectSizes())
+        s.hw[:] = 1.0
+        s.thermal[:] = 1.0
+        s.decay()
+        # Thermal decays faster than the slow hw/sw channel.
+        assert s.thermal[0] < s.hw[0]
+
+    def test_apply(self):
+        s = StressorState(5, EffectSizes())
+        s.apply([(np.array([1]), 0.1, 0.2, 0.3)])
+        assert s.hw[1] == 0.1
+        assert s.sw[1] == 0.2
+        assert s.thermal[1] == 0.3
+        assert s.hw[0] == 0.0
+
+
+class TestDowntime:
+    def test_positive(self):
+        rng = np.random.default_rng(1)
+        for cat in Category:
+            assert sample_downtime(cat, rng, EffectSizes()) > 0

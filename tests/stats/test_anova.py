@@ -1,0 +1,99 @@
+"""Tests for likelihood-ratio ANOVA."""
+
+import numpy as np
+import pytest
+
+from repro.stats.anova import (
+    AnovaError,
+    likelihood_ratio_test,
+    saturated_vs_common_rate,
+)
+from repro.stats.glm import fit_poisson
+
+RNG = np.random.default_rng(21)
+
+
+class TestSaturatedVsCommon:
+    def test_equal_rates_not_significant(self):
+        rng = np.random.default_rng(1)
+        exposures = np.full(30, 100.0)
+        counts = rng.poisson(5.0 * 100.0 / 100.0 * np.ones(30) * 5)
+        res = saturated_vs_common_rate(counts, exposures)
+        # Homogeneous Poisson data: should usually fail to reject at 1%.
+        assert res.p_value > 1e-4
+
+    def test_heterogeneous_rates_significant(self):
+        exposures = np.full(20, 100.0)
+        counts = np.concatenate([np.full(10, 2), np.full(10, 40)])
+        res = saturated_vs_common_rate(counts, exposures)
+        assert res.significant
+        assert res.p_value < 1e-10
+
+    def test_exposure_adjustment(self):
+        # Same rate, different exposures: not significant.
+        exposures = np.array([10.0, 100.0, 1000.0])
+        counts = np.array([10, 100, 1000])
+        res = saturated_vs_common_rate(counts, exposures)
+        assert res.statistic == pytest.approx(0.0, abs=1e-9)
+
+    def test_dof(self):
+        res = saturated_vs_common_rate(
+            np.array([1, 5, 9]), np.array([1.0, 1.0, 1.0])
+        )
+        assert res.dof == 2
+
+    def test_rejects_zero_counts_total(self):
+        with pytest.raises(AnovaError):
+            saturated_vs_common_rate(np.zeros(5), np.ones(5))
+
+    def test_rejects_nonpositive_exposure(self):
+        with pytest.raises(AnovaError):
+            saturated_vs_common_rate(np.array([1, 2]), np.array([1.0, 0.0]))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(AnovaError):
+            saturated_vs_common_rate(np.array([1, 2]), np.array([1.0]))
+
+
+class TestLikelihoodRatio:
+    @staticmethod
+    def _models():
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 2))
+        y = rng.poisson(np.exp(0.5 + 0.6 * X[:, 0]))
+        full = fit_poisson(X, y, names=["a", "b"])
+        reduced = fit_poisson(X[:, 1:], y, names=["b"])
+        return full, reduced
+
+    def test_detects_needed_predictor(self):
+        full, reduced = self._models()
+        res = likelihood_ratio_test(full, reduced)
+        assert res.significant
+        assert res.dof == 1
+
+    def test_rejects_same_size_models(self):
+        full, _ = self._models()
+        with pytest.raises(AnovaError):
+            likelihood_ratio_test(full, full)
+
+    def test_rejects_family_mismatch(self):
+        from repro.stats.glm import fit_negative_binomial
+
+        full, reduced = self._models()
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 1))
+        y = rng.poisson(np.exp(0.5 * X[:, 0]) + 1)
+        nb = fit_negative_binomial(X, y)
+        with pytest.raises(AnovaError):
+            likelihood_ratio_test(full, nb)
+
+    def test_rejects_different_data_sizes(self):
+        rng = np.random.default_rng(4)
+        X1 = rng.normal(size=(100, 2))
+        y1 = rng.poisson(2.0, 100)
+        X2 = rng.normal(size=(50, 1))
+        y2 = rng.poisson(2.0, 50)
+        full = fit_poisson(X1, y1)
+        reduced = fit_poisson(X2, y2)
+        with pytest.raises(AnovaError):
+            likelihood_ratio_test(full, reduced)

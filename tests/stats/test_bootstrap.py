@@ -1,0 +1,64 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import (
+    BootstrapError,
+    bootstrap_ci,
+    bootstrap_ratio_ci,
+)
+
+
+class TestBootstrapCI:
+    def test_mean_ci_contains_truth(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(5.0, 1.0, size=200)
+        ci = bootstrap_ci(data, np.mean, rng=np.random.default_rng(2))
+        assert ci.low < 5.0 < ci.high
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_with_seeded_rng(self):
+        data = np.arange(50.0)
+        a = bootstrap_ci(data, np.median, rng=np.random.default_rng(3))
+        b = bootstrap_ci(data, np.median, rng=np.random.default_rng(3))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_interval_shrinks_with_n(self):
+        rng = np.random.default_rng(4)
+        small = bootstrap_ci(
+            rng.normal(size=30), np.mean, rng=np.random.default_rng(5)
+        )
+        large = bootstrap_ci(
+            rng.normal(size=3000), np.mean, rng=np.random.default_rng(6)
+        )
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(BootstrapError):
+            bootstrap_ci(np.array([1.0]), np.mean)
+
+    def test_rejects_few_replicates(self):
+        with pytest.raises(BootstrapError):
+            bootstrap_ci(np.arange(10.0), np.mean, replicates=10)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(BootstrapError):
+            bootstrap_ci(np.arange(10.0), np.mean, confidence=0.0)
+
+
+class TestRatioCI:
+    def test_contains_true_ratio(self):
+        ci = bootstrap_ratio_ci(
+            300, 1000, 100, 1000, rng=np.random.default_rng(7)
+        )
+        assert ci.estimate == pytest.approx(3.0)
+        assert ci.low < 3.0 < ci.high
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(BootstrapError):
+            bootstrap_ratio_ci(5, 100, 0, 100)
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(BootstrapError):
+            bootstrap_ratio_ci(5, 3, 1, 100)

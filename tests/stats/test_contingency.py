@@ -1,0 +1,154 @@
+"""Unit tests for chi-square tests, validated against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.contingency import (
+    ContingencyError,
+    equal_rates_test,
+    homogeneity_test,
+    two_proportion_chi_square,
+)
+
+
+class TestEqualRates:
+    def test_matches_scipy_chisquare(self):
+        counts = np.array([10, 20, 30, 40])
+        ours = equal_rates_test(counts)
+        theirs = scipy_stats.chisquare(counts)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+        assert ours.dof == 3
+
+    def test_uniform_counts_not_significant(self):
+        res = equal_rates_test(np.array([25, 25, 25, 25]))
+        assert res.p_value == pytest.approx(1.0)
+        assert not res.significant
+
+    def test_extreme_skew_significant(self):
+        res = equal_rates_test(np.array([1000, 1, 1, 1]))
+        assert res.significant
+        assert res.p_value < 1e-10
+
+    def test_with_exposures(self):
+        # Node 0 observed twice as long; equal *rates* expected counts 2:1.
+        counts = np.array([20.0, 10.0])
+        res = equal_rates_test(counts, exposures=np.array([2.0, 1.0]))
+        assert res.statistic == pytest.approx(0.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ContingencyError):
+            equal_rates_test(np.array([0, 0, 0]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ContingencyError):
+            equal_rates_test(np.array([1, -1]))
+
+    def test_rejects_single_unit(self):
+        with pytest.raises(ContingencyError):
+            equal_rates_test(np.array([5]))
+
+    def test_rejects_bad_exposures(self):
+        with pytest.raises(ContingencyError):
+            equal_rates_test(np.array([1, 2]), exposures=np.array([0.0, 1.0]))
+        with pytest.raises(ContingencyError):
+            equal_rates_test(np.array([1, 2]), exposures=np.array([1.0]))
+
+
+class TestHomogeneity:
+    def test_matches_scipy(self):
+        table = np.array([[10, 20, 30], [15, 15, 30]])
+        ours = homogeneity_test(table)
+        chi2, p, dof, _ = scipy_stats.chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(chi2)
+        assert ours.p_value == pytest.approx(p)
+        assert ours.dof == dof
+
+    def test_identical_rows_not_significant(self):
+        res = homogeneity_test(np.array([[10, 20], [10, 20]]))
+        assert res.statistic == pytest.approx(0.0)
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(ContingencyError):
+            homogeneity_test(np.array([[0, 0], [1, 2]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ContingencyError):
+            homogeneity_test(np.array([1, 2, 3]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ContingencyError):
+            homogeneity_test(np.array([[1, -2], [3, 4]]))
+
+
+class TestTwoProportion:
+    def test_equals_z_squared(self):
+        from repro.stats.proportion import two_sample_z_test
+
+        chi = two_proportion_chi_square(30, 100, 10, 100)
+        z = two_sample_z_test(30, 100, 10, 100)
+        assert chi.statistic == pytest.approx(z.statistic**2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ContingencyError):
+            two_proportion_chi_square(0, 0, 5, 10)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ContingencyError):
+            two_proportion_chi_square(5, 3, 1, 10)
+
+
+class TestGroupingPermutation:
+    def _run(self, counts, groups, seed=1):
+        from repro.stats.contingency import grouping_permutation_test
+
+        return grouping_permutation_test(
+            np.asarray(counts, dtype=float),
+            np.asarray(groups),
+            permutations=500,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_random_arrangement_not_significant(self):
+        rng = np.random.default_rng(2)
+        counts = rng.poisson(3.0, 100)
+        groups = np.repeat(np.arange(20), 5)
+        res = self._run(counts, groups)
+        assert not res.significant
+        assert res.p_value > 0.01
+
+    def test_heterogeneous_but_random_not_significant(self):
+        # The key property: heavy per-unit skew WITHOUT spatial pattern
+        # must not trigger (a plain chi-square of group totals would).
+        rng = np.random.default_rng(3)
+        counts = rng.pareto(1.5, 100) * 5
+        groups = np.repeat(np.arange(20), 5)
+        res = self._run(np.round(counts), groups)
+        assert not res.significant
+
+    def test_real_spatial_pattern_detected(self):
+        rng = np.random.default_rng(4)
+        counts = rng.poisson(2.0, 100).astype(float)
+        groups = np.repeat(np.arange(20), 5)
+        counts[groups < 5] += rng.poisson(8.0, int((groups < 5).sum()))
+        res = self._run(counts, groups)
+        assert res.significant
+        assert res.p_value < 0.01
+
+    def test_rejects_bad_inputs(self):
+        from repro.stats.contingency import (
+            ContingencyError,
+            grouping_permutation_test,
+        )
+
+        with pytest.raises(ContingencyError):
+            grouping_permutation_test(np.zeros(10), np.repeat([0, 1], 5))
+        with pytest.raises(ContingencyError):
+            grouping_permutation_test(
+                np.ones(10), np.zeros(10)  # single group
+            )
+        with pytest.raises(ContingencyError):
+            grouping_permutation_test(
+                np.ones(10), np.repeat([0, 1], 5), permutations=10
+            )

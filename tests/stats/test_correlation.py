@@ -1,0 +1,109 @@
+"""Unit tests for correlation measures, validated against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.correlation import (
+    CorrelationError,
+    autocorrelation,
+    pearson,
+    spearman,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestPearson:
+    def test_matches_scipy(self):
+        x = RNG.normal(size=50)
+        y = 0.5 * x + RNG.normal(size=50)
+        ours = pearson(x, y)
+        theirs = scipy_stats.pearsonr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        res = pearson(x, 2 * x + 1)
+        assert res.coefficient == pytest.approx(1.0)
+        assert res.p_value == pytest.approx(0.0, abs=1e-12)
+        assert res.significant
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10.0)
+        res = pearson(x, -x)
+        assert res.coefficient == pytest.approx(-1.0)
+
+    def test_independent_not_significant(self):
+        x = RNG.normal(size=200)
+        y = RNG.normal(size=200)
+        res = pearson(x, y)
+        assert abs(res.coefficient) < 0.2
+
+    def test_rejects_constant(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.ones(10), np.arange(10.0))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.arange(5.0), np.arange(6.0))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.array([1.0, np.nan, 3.0]), np.arange(3.0))
+
+    @given(st.integers(5, 30))
+    def test_coefficient_bounded(self, n):
+        rng = np.random.default_rng(n)
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        res = pearson(x, y)
+        assert -1.0 <= res.coefficient <= 1.0
+        assert 0.0 <= res.p_value <= 1.0
+
+
+class TestSpearman:
+    def test_matches_scipy(self):
+        x = RNG.normal(size=60)
+        y = x**3 + RNG.normal(size=60) * 0.1
+        ours = spearman(x, y)
+        theirs = scipy_stats.spearmanr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic, rel=1e-9)
+
+    def test_monotone_transform_invariant(self):
+        x = RNG.exponential(size=40)
+        y = RNG.exponential(size=40)
+        a = spearman(x, y).coefficient
+        b = spearman(np.log(x), y).coefficient
+        assert a == pytest.approx(b)
+
+    def test_rejects_constant(self):
+        with pytest.raises(CorrelationError):
+            spearman(np.ones(10), np.arange(10.0))
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(RNG.normal(size=100), 5)
+        assert acf[0] == pytest.approx(1.0)
+        assert acf.shape == (6,)
+
+    def test_periodic_signal(self):
+        s = np.tile([1.0, -1.0], 50)
+        acf = autocorrelation(s, 2)
+        assert acf[1] == pytest.approx(-1.0, abs=0.05)
+        assert acf[2] == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_constant(self):
+        with pytest.raises(CorrelationError):
+            autocorrelation(np.ones(10), 2)
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(CorrelationError):
+            autocorrelation(RNG.normal(size=10), 10)

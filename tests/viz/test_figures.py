@@ -1,0 +1,126 @@
+"""Tests for the paper-figure renderers."""
+
+import pytest
+
+from repro.records.dataset import Archive, HardwareGroup
+from repro.viz import (
+    failure_timeline,
+    figure1a,
+    figure1b,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    render_all_figures,
+)
+
+
+class TestFigureRenderers:
+    def test_figure1a_mentions_triggers(self, medium_archive):
+        out = figure1a(medium_archive, HardwareGroup.GROUP1)
+        assert "Figure 1(a)" in out
+        for label in ("Environment", "Network", "Random week"):
+            assert label in out
+
+    def test_figure1b_has_three_series(self, medium_archive):
+        out = figure1b(medium_archive, HardwareGroup.GROUP2)
+        assert "after same type" in out
+        assert "after ANY failure" in out
+        assert "random week" in out
+
+    def test_figure2_has_both_panels(self, medium_archive):
+        out = figure2(medium_archive)
+        assert "Figure 2(a)" in out and "Figure 2(b)" in out
+
+    def test_figure3_both_groups(self, medium_archive):
+        out = figure3(medium_archive)
+        assert "Group-1" in out and "Group-2" in out
+
+    def test_figure4_marks_prone_node(self, medium_archive):
+        out = figure4(medium_archive)
+        assert "System 18" in out
+        assert "X" in out
+
+    def test_figure5(self, medium_archive):
+        out = figure5(medium_archive)
+        assert "root-cause shares" in out
+        assert "rest of nodes" in out
+
+    def test_figure6(self, medium_archive):
+        out = figure6(medium_archive)
+        assert "prone node" in out
+
+    def test_figure7_both_panels(self, medium_archive):
+        out = figure7(medium_archive)
+        assert "Figure 7(a)" in out and "Figure 7(b)" in out
+        assert "Pearson" in out
+
+    def test_figure8(self, medium_archive):
+        out = figure8(medium_archive)
+        assert "heaviest users" in out
+
+    def test_figure9(self, medium_archive):
+        out = figure9(medium_archive)
+        assert "Power outage" in out and "%" in out
+
+    def test_figure10_11_13_have_spans(self, medium_archive):
+        for fig in (figure10, figure11, figure13):
+            out = fig(medium_archive)
+            assert "within a day" in out
+            assert "within a month" in out
+
+    def test_figure12(self, medium_archive):
+        out = figure12(medium_archive)
+        assert "System 2" in out
+        assert "repeat share" in out
+
+    def test_figure14(self, medium_archive):
+        out = figure14(medium_archive)
+        assert "neutron" in out
+        assert "r=" in out
+
+    def test_failure_timeline(self, medium_archive):
+        out = failure_timeline(medium_archive[18])
+        assert "failure density" in out
+
+    def test_render_all(self, medium_archive):
+        out = render_all_figures(medium_archive)
+        for needle in ("Figure 1(a)", "Figure 9", "Figure 14"):
+            assert needle in out
+        assert len(out.splitlines()) > 150
+
+    def test_degrades_without_data(self, medium_archive):
+        bare = Archive([medium_archive[18]])
+        assert "no usage systems" in figure7(bare)
+        assert "no neutron series" in figure14(bare)
+        assert "not in archive" in figure12(bare, system_id=2)
+
+
+class TestPairwiseMatrix:
+    def test_renders_all_cells(self, group1):
+        from repro.viz import render_pairwise_matrix
+
+        out = render_pairwise_matrix(group1)
+        for cat in ("ENV", "HW", "HUMAN", "NET", "UNDET", "SW"):
+            assert cat in out
+        assert "[" in out  # diagonal marker
+
+    def test_triangle_factors(self, group1):
+        from repro.records.taxonomy import Category
+        from repro.viz import cross_triangle_factors
+
+        tri = cross_triangle_factors(group1)
+        assert len(tri) == 6
+        assert (Category.ENVIRONMENT, Category.NETWORK) in tri
+        assert all(
+            trig is not targ for trig, targ in tri
+        )
