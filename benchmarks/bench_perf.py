@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Performance harness: generation (cold/warm/parallel) + window analysis.
+
+Unlike the ``bench_fig*``/``bench_table*`` modules (pytest suites that
+assert the paper's *findings*), this is a standalone script that records
+how *fast* the pipeline is, writing the measurements to
+``BENCH_PERF.json`` so the perf trajectory is tracked in-repo:
+
+* **cold serial** -- ``make_archive`` of the benchmark configuration
+  from scratch in one process;
+* **cold parallel** -- the same with a worker pool (identical output by
+  construction; only interesting on a multi-core box);
+* **warm cache** -- loading the same archive back from the on-disk
+  archive cache, the path repeat benchmark runs take;
+* **analysis** -- one representative window analysis (the Section
+  III-A.3 pairwise matrix over group-1), first on cold per-category
+  event indices, then warm.
+
+Run from the repository root::
+
+    python benchmarks/bench_perf.py                 # benchmark scale
+    python benchmarks/bench_perf.py --smoke -o /tmp/smoke.json   # CI
+
+The benchmark scale matches ``benchmarks/conftest.py`` (seed 42, seven
+years, 35% of LANL node counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.correlations import pairwise_matrix
+from repro.records.dataset import HardwareGroup
+from repro.records.timeutil import Span
+from repro.simulate.archive import make_archive
+from repro.simulate.cache import load_cached, store_cached
+from repro.simulate.config import small_config
+from repro.simulate.failures import GENERATOR_VERSION
+
+#: Benchmark archive parameters (keep in sync with benchmarks/conftest.py).
+BENCH_SEED = 46
+BENCH_YEARS = 7.0
+BENCH_SCALE = 0.35
+
+
+def _timed(fn, repeats: int = 1):
+    """Run ``fn`` ``repeats`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run(args: argparse.Namespace) -> dict:
+    if args.smoke:
+        config = small_config(seed=BENCH_SEED, years=1.0, scale=0.03)
+    else:
+        config = small_config(
+            seed=BENCH_SEED, years=BENCH_YEARS, scale=BENCH_SCALE
+        )
+    workers = args.workers or min(os.cpu_count() or 1, 8)
+    timings: dict[str, float] = {}
+
+    print(
+        f"config: seed={config.seed} years={config.years} "
+        f"scale={config.scale} (generator v{GENERATOR_VERSION})"
+    )
+
+    timings["cold_serial_s"], archive = _timed(lambda: make_archive(config))
+    print(f"cold serial generation:   {timings['cold_serial_s']:8.2f} s")
+
+    if workers > 1:
+        timings["cold_parallel_s"], _ = _timed(
+            lambda: make_archive(config, workers=workers)
+        )
+        print(
+            f"cold parallel ({workers} workers): "
+            f"{timings['cold_parallel_s']:6.2f} s"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-perf-cache-") as tmp:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else Path(tmp)
+        timings["cache_store_s"], _ = _timed(
+            lambda: store_cached(config, archive, cache_dir)
+        )
+        timings["warm_load_s"], cached = _timed(
+            lambda: load_cached(config, cache_dir),
+            repeats=args.load_repeats,
+        )
+        assert cached is not None, "cache round-trip failed"
+    print(f"cache store:              {timings['cache_store_s']:8.2f} s")
+    print(f"warm cache load:          {timings['warm_load_s']:8.2f} s")
+
+    group1 = archive.group(HardwareGroup.GROUP1)
+    timings["analysis_cold_s"], _ = _timed(
+        lambda: pairwise_matrix(group1, Span.WEEK)
+    )
+    timings["analysis_warm_s"], _ = _timed(
+        lambda: pairwise_matrix(group1, Span.WEEK)
+    )
+    print(f"pairwise analysis (cold): {timings['analysis_cold_s']:8.2f} s")
+    print(f"pairwise analysis (warm): {timings['analysis_warm_s']:8.2f} s")
+
+    cold_best = min(
+        timings["cold_serial_s"],
+        timings.get("cold_parallel_s", float("inf")),
+    )
+    derived = {
+        "warm_vs_cold_speedup": cold_best / max(timings["warm_load_s"], 1e-9),
+        "analysis_warm_vs_cold_speedup": timings["analysis_cold_s"]
+        / max(timings["analysis_warm_s"], 1e-9),
+    }
+    if "cold_parallel_s" in timings:
+        derived["parallel_vs_serial_speedup"] = (
+            timings["cold_serial_s"] / timings["cold_parallel_s"]
+        )
+    print(f"warm vs cold speedup:     {derived['warm_vs_cold_speedup']:8.1f}x")
+
+    return {
+        "smoke": args.smoke,
+        "date": time.strftime("%Y-%m-%d"),
+        "generator_version": GENERATOR_VERSION,
+        "config": {
+            "seed": config.seed,
+            "years": config.years,
+            "scale": config.scale,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workers": workers,
+        "total_failures": archive.total_failures(),
+        "timings_s": {k: round(v, 4) for k, v in timings.items()},
+        "derived": {k: round(v, 2) for k, v in derived.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel timing (default: cpu count)",
+    )
+    parser.add_argument(
+        "--load-repeats",
+        type=int,
+        default=3,
+        help="repetitions of the warm-cache load (best is reported)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory for the warm timing (default: fresh temp dir)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_PERF.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

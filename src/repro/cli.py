@@ -38,6 +38,23 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
         default=1.0,
         help="node-count scale factor (1.0 = full LANL size)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for generation (default serial; output is "
+            "identical at any worker count)"
+        ),
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "always generate from scratch instead of reusing/updating the "
+            "archive cache (REPRO_CACHE_DIR or ~/.cache/hpcfail/archives)"
+        ),
+    )
 
 
 def _add_archive_arg(p: argparse.ArgumentParser) -> None:
@@ -126,7 +143,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         config = ArchiveConfig(seed=args.seed, years=args.years, scale=args.scale)
-        archive = make_archive(config)
+        if args.no_cache:
+            archive = make_archive(config, workers=args.workers)
+        else:
+            from .simulate.cache import cached_make_archive
+
+            archive = cached_make_archive(config, workers=args.workers)
         save_archive(archive, args.output)
         total = archive.total_failures()
         print(

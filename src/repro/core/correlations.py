@@ -50,11 +50,7 @@ from .windows import (
 
 
 def _rack_mapping(ds: SystemDataset) -> np.ndarray | None:
-    if ds.layout is None:
-        return None
-    return np.array(
-        [ds.layout.rack_of(n) for n in range(ds.num_nodes)], dtype=np.int64
-    )
+    return ds.rack_of
 
 
 def _events(
@@ -62,7 +58,8 @@ def _events(
     category: Category | None = None,
     subtype: Subtype | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    return ds.failure_table.select(category=category, subtype=subtype)
+    idx = ds.failure_table.events(category=category, subtype=subtype)
+    return idx.times, idx.nodes
 
 
 def pooled_baseline(
@@ -103,18 +100,19 @@ def pooled_conditional(
         rack_of = _rack_mapping(ds) if scope is Scope.RACK else None
         if scope is Scope.RACK and rack_of is None:
             continue
-        trig_t, trig_n = _events(ds, trigger_category, trigger_subtype)
-        targ_t, targ_n = _events(ds, target_category, target_subtype)
+        trig_idx = ds.failure_table.events(trigger_category, trigger_subtype)
+        targ_idx = ds.failure_table.events(target_category, target_subtype)
         total = total + conditional_counts(
-            trig_t,
-            trig_n,
-            targ_t,
-            targ_n,
+            trig_idx.times,
+            trig_idx.nodes,
+            targ_idx.times,
+            targ_idx.nodes,
             ds.period,
             span,
             scope=scope,
             rack_of=rack_of,
             num_nodes=ds.num_nodes,
+            target_index=targ_idx,
         )
     return total
 

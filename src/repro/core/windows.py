@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..records.dataset import EventIndex
 from ..records.timeutil import ObservationPeriod, Span, count_windows, window_index
 from ..stats.proportion import (
     ProportionEstimate,
@@ -168,6 +169,7 @@ def conditional_counts(
     scope: Scope = Scope.NODE,
     rack_of: np.ndarray | None = None,
     num_nodes: int | None = None,
+    target_index: EventIndex | None = None,
 ) -> Counts:
     """Conditional counts at node, rack or system scope.
 
@@ -201,9 +203,14 @@ def conditional_counts(
         scope: NODE, RACK or SYSTEM.
         rack_of: node -> rack id mapping, required for RACK scope.
         num_nodes: system node count, required for RACK/SYSTEM scope.
+        target_index: pre-built index of the target stream (e.g. from
+            :meth:`repro.records.dataset.FailureTable.events`).  When
+            given, ``target_times`` / ``target_nodes`` are ignored and
+            the cached per-node grouping is reused across calls.
     """
     trig_t, trig_n = _check_events(trigger_times, trigger_nodes)
-    targ_t, targ_n = _check_events(target_times, target_nodes)
+    if target_index is None:
+        target_index = EventIndex(*_check_events(target_times, target_nodes))
 
     # Censor triggers without a complete follow-up window.
     alive = trig_t + span.days <= period.end
@@ -212,9 +219,9 @@ def conditional_counts(
     if n_triggers == 0:
         return ZERO_COUNTS
 
+    own_counts = _per_node_window_counts(trig_t, trig_n, target_index, span)
     if scope is Scope.NODE:
-        same = _per_node_window_counts(trig_t, trig_n, targ_t, targ_n, span)
-        return Counts(int((same > 0).sum()), n_triggers)
+        return Counts(int((own_counts > 0).sum()), n_triggers)
 
     if num_nodes is None:
         raise WindowAnalysisError(f"{scope} scope requires num_nodes")
@@ -227,58 +234,69 @@ def conditional_counts(
                 "rack_of must map every node of the system to a rack"
             )
         rack_sizes = np.bincount(rack_of, minlength=int(rack_of.max()) + 1)
-        trials = int((rack_sizes[rack_of[trig_n]] - 1).sum())
+        trig_racks = rack_of[trig_n]
+        trials = int((rack_sizes[trig_racks] - 1).sum())
     else:
         trials = n_triggers * (num_nodes - 1)
     if trials == 0:
         return ZERO_COUNTS
 
     # successes = sum over triggers of the number of distinct *other*
-    # in-scope nodes with >= 1 event in the trigger's window.  Loop over
-    # target nodes (vectorised over triggers), which is cheap: only nodes
-    # that ever recorded a qualifying event contribute.
-    successes = 0
-    trig_racks = rack_of[trig_n] if scope is Scope.RACK else None
-    for node in np.unique(targ_n):
-        node_times = targ_t[targ_n == node]
-        rel = trig_n != node
-        if scope is Scope.RACK:
-            rel &= trig_racks == rack_of[node]
-        if not rel.any():
-            continue
-        t_sel = trig_t[rel]
-        l = np.searchsorted(node_times, t_sel, side="right")
-        h = np.searchsorted(node_times, t_sel + span.days, side="right")
-        successes += int((h > l).sum())
+    # in-scope nodes with >= 1 event in the trigger's window.  Decompose
+    # into all in-scope nodes (per target-node block, vectorised over the
+    # relevant triggers) minus the trigger's own node, which is exactly
+    # the NODE-scope hit count already computed above.
+    successes = -int((own_counts > 0).sum())
+    if scope is Scope.RACK:
+        # Group triggers by rack once; each target node then queries only
+        # its rack's triggers.
+        order = np.argsort(trig_racks, kind="stable")
+        grouped_t = trig_t[order]
+        grouped_racks = trig_racks[order]
+        n_racks = int(rack_sizes.size)
+        rack_starts = np.zeros(n_racks + 1, dtype=np.int64)
+        np.cumsum(np.bincount(grouped_racks, minlength=n_racks), out=rack_starts[1:])
+        for node in target_index.event_nodes():
+            rack = int(rack_of[node]) if node < num_nodes else -1
+            if rack < 0:
+                continue
+            sel = grouped_t[rack_starts[rack] : rack_starts[rack + 1]]
+            if sel.size:
+                successes += int(
+                    (target_index.window_counts(node, sel, span.days) > 0).sum()
+                )
+    else:
+        for node in target_index.event_nodes():
+            successes += int(
+                (target_index.window_counts(node, trig_t, span.days) > 0).sum()
+            )
     return Counts(successes, trials)
 
 
 def _per_node_window_counts(
     trig_t: np.ndarray,
     trig_n: np.ndarray,
-    targ_t: np.ndarray,
-    targ_n: np.ndarray,
+    target_index: EventIndex,
     span: Span,
 ) -> np.ndarray:
     """#target events on the trigger's own node in each ``(t, t+span]``."""
     counts = np.zeros(trig_t.size, dtype=np.int64)
-    if targ_t.size == 0:
+    if len(target_index) == 0 or trig_t.size == 0:
         return counts
-    order = np.argsort(targ_n, kind="stable")
-    sorted_nodes = targ_n[order]
-    # targ_t is time-sorted; within each node block the times stay sorted
-    # because the node sort is stable.
-    sorted_times = targ_t[order]
-    block_starts = np.searchsorted(sorted_nodes, np.arange(sorted_nodes.max() + 2))
-    for node in np.unique(trig_n):
-        if node >= block_starts.size - 1 or node < 0:
+    # Group the triggers by node once; each group queries its node's
+    # pre-sorted block in the target index.
+    order = np.argsort(trig_n, kind="stable")
+    grouped = trig_n[order]
+    bounds = np.flatnonzero(np.diff(grouped)) + 1
+    for sel in np.split(order, bounds):
+        node = int(trig_n[sel[0]])
+        block = target_index.node_block(node)
+        if block.size == 0:
             continue
-        b, e = block_starts[node], block_starts[node + 1]
-        node_times = sorted_times[b:e]
-        sel = trig_n == node
-        l = np.searchsorted(node_times, trig_t[sel], side="right")
-        h = np.searchsorted(node_times, trig_t[sel] + span.days, side="right")
-        counts[sel] = h - l
+        starts = trig_t[sel]
+        lo = np.searchsorted(block, starts, side="right")
+        hi = np.searchsorted(block, starts + span.days, side="right")
+        counts[sel] = hi - lo
     return counts
 
 
@@ -332,12 +350,13 @@ def sliding_baseline_counts(
     times, nodes = _check_events(target_times, target_nodes)
     starts = overlapping_window_starts(period, span, step)
     trials = int(starts.size) * num_nodes
+    index = EventIndex(times, nodes)
     successes = 0
-    for node in range(num_nodes):
-        node_times = times[nodes == node]
-        if node_times.size == 0:
+    for node in index.event_nodes():
+        if node >= num_nodes:
             continue
-        l = np.searchsorted(node_times, starts, side="left")
-        h = np.searchsorted(node_times, starts + span.days, side="left")
+        block = index.node_block(int(node))
+        l = np.searchsorted(block, starts, side="left")
+        h = np.searchsorted(block, starts + span.days, side="left")
         successes += int(((h - l) > 0).sum())
     return Counts(successes, trials)

@@ -60,6 +60,70 @@ _SUBTYPE_CODES: dict[Subtype, int] = {s: i for i, s in enumerate(all_subtypes())
 _NO_SUBTYPE = -1
 
 
+class EventIndex:
+    """Columnar index of one event stream for windowed lookups.
+
+    Holds the stream twice: in time order (``times`` / ``nodes``) and
+    regrouped by node (``node_times``), with ``node_starts`` offsets so
+    ``node_times[node_starts[v]:node_starts[v + 1]]`` is node ``v``'s
+    sorted event times.  Window queries then reduce to two
+    ``np.searchsorted`` calls per node block instead of re-filtering and
+    re-sorting the raw arrays on every analysis call.
+    """
+
+    __slots__ = ("times", "nodes", "num_nodes", "node_times", "node_starts")
+
+    def __init__(
+        self, times: np.ndarray, nodes: np.ndarray, num_nodes: int | None = None
+    ) -> None:
+        times = np.asarray(times, dtype=float)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if times.shape != nodes.shape or times.ndim != 1:
+            raise DatasetError("times and nodes must be matching 1-D arrays")
+        if times.size and np.any(np.diff(times) < 0):
+            order = np.argsort(times, kind="stable")
+            times, nodes = times[order], nodes[order]
+        self.times = times
+        self.nodes = nodes
+        inferred = int(nodes.max()) + 1 if nodes.size else 0
+        self.num_nodes = inferred if num_nodes is None else int(num_nodes)
+        if self.num_nodes < inferred:
+            raise DatasetError(
+                f"events reference node {inferred - 1} but num_nodes is "
+                f"{self.num_nodes}"
+            )
+        # Stable sort by node keeps each node block time-sorted.
+        grouping = np.argsort(nodes, kind="stable")
+        self.node_times = times[grouping]
+        counts = np.bincount(nodes, minlength=self.num_nodes)
+        self.node_starts = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.node_starts[1:])
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def node_block(self, node: int) -> np.ndarray:
+        """Sorted event times of one node (empty for unknown nodes)."""
+        if not (0 <= node < self.num_nodes):
+            return self.node_times[:0]
+        return self.node_times[self.node_starts[node] : self.node_starts[node + 1]]
+
+    def event_nodes(self) -> np.ndarray:
+        """Nodes with at least one event, ascending."""
+        return np.flatnonzero(np.diff(self.node_starts) > 0)
+
+    def window_counts(
+        self, node: int, starts: np.ndarray, span_days: float
+    ) -> np.ndarray:
+        """Per-start counts of this node's events in ``(start, start+span]``."""
+        block = self.node_block(node)
+        if block.size == 0:
+            return np.zeros(np.asarray(starts).shape, dtype=np.int64)
+        lo = np.searchsorted(block, starts, side="right")
+        hi = np.searchsorted(block, starts + span_days, side="right")
+        return hi - lo
+
+
 class FailureTable:
     """Columnar (numpy) view of a failure log, for vectorised analyses.
 
@@ -71,9 +135,15 @@ class FailureTable:
     * ``subtype_codes`` -- int64 codes, ``-1`` when no subtype is recorded.
     """
 
-    def __init__(self, failures: Sequence[FailureRecord]) -> None:
+    def __init__(
+        self, failures: Sequence[FailureRecord], num_nodes: int | None = None
+    ) -> None:
         ordered = sorted(failures)
         self._records: tuple[FailureRecord, ...] = tuple(ordered)
+        self._num_nodes = num_nodes
+        self._event_indices: dict[
+            tuple[Category | None, Subtype | None], EventIndex
+        ] = {}
         n = len(ordered)
         self.times = np.fromiter((f.time for f in ordered), dtype=float, count=n)
         self.node_ids = np.fromiter(
@@ -142,8 +212,32 @@ class FailureTable:
         node_id: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(times, node_ids)`` of failures matching the filters, sorted."""
-        m = self.mask(category=category, subtype=subtype, node_id=node_id)
+        if node_id is not None:
+            idx = self.events(category=category, subtype=subtype)
+            block = idx.node_block(node_id)
+            return block, np.full(block.size, node_id, dtype=np.int64)
+        m = self.mask(category=category, subtype=subtype)
         return self.times[m], self.node_ids[m]
+
+    def events(
+        self,
+        category: Category | None = None,
+        subtype: Subtype | None = None,
+    ) -> EventIndex:
+        """Memoized :class:`EventIndex` of the matching failure subset.
+
+        Window analyses query the same few streams (all failures, one
+        category, one subtype) against many triggers; caching the sorted
+        per-node grouping turns each repeat lookup into pure
+        ``searchsorted`` work.
+        """
+        key = (category, subtype)
+        cached = self._event_indices.get(key)
+        if cached is None:
+            m = self.mask(category=category, subtype=subtype)
+            cached = EventIndex(self.times[m], self.node_ids[m], self._num_nodes)
+            self._event_indices[key] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -222,7 +316,17 @@ class SystemDataset:
     @cached_property
     def failure_table(self) -> FailureTable:
         """Columnar numpy view of the failure log (cached)."""
-        return FailureTable(self.failures)
+        return FailureTable(self.failures, num_nodes=self.num_nodes)
+
+    @cached_property
+    def rack_of(self) -> np.ndarray | None:
+        """Node -> rack id mapping from the layout (None without layout)."""
+        if self.layout is None:
+            return None
+        return np.array(
+            [self.layout.rack_of(n) for n in range(self.num_nodes)],
+            dtype=np.int64,
+        )
 
     @property
     def total_processors(self) -> int:

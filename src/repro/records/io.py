@@ -17,6 +17,12 @@ layout so the toolkit can be pointed at a directory tree and load a full
 All files carry a header row; fields are comma-separated; times are
 fractional days since the system's observation start.  Writers emit
 deterministic, sorted output so archives diff cleanly.
+
+Floats are written with Python's shortest round-trip ``repr`` so that a
+save/load cycle reproduces every value *exactly*.  Fixed-precision
+formatting used to quantise times, which could reorder records tied on
+the rounded key and silently re-attach per-record flags (e.g.
+``hardware_related``) to the wrong rows after a round trip.
 """
 
 from __future__ import annotations
@@ -67,6 +73,11 @@ _JOBS_HEADER = [
 _TEMPERATURES_HEADER = ["time", "node_id", "celsius"]
 _LAYOUT_HEADER = ["node_id", "rack_id", "position_in_rack", "room_x", "room_y"]
 _NEUTRONS_HEADER = ["time", "counts_per_minute"]
+
+
+def _fmt(value: float) -> str:
+    """Shortest decimal string that parses back to exactly ``value``."""
+    return repr(float(value))
 
 
 def _open_rows(path: Path, expected_header: list[str]) -> list[dict[str, str]]:
@@ -122,11 +133,11 @@ def write_failures(path: Path, failures: Sequence[FailureRecord]) -> None:
         for f in sorted(failures):
             w.writerow(
                 [
-                    f"{f.time:.6f}",
+                    _fmt(f.time),
                     f.node_id,
                     f.category.value,
                     f.subtype.value if f.subtype is not None else "",
-                    f"{f.downtime_hours:.3f}",
+                    _fmt(f.downtime_hours),
                 ]
             )
 
@@ -161,10 +172,10 @@ def write_maintenance(path: Path, events: Sequence[MaintenanceRecord]) -> None:
         for m in sorted(events):
             w.writerow(
                 [
-                    f"{m.time:.6f}",
+                    _fmt(m.time),
                     m.node_id,
                     int(m.hardware_related),
-                    f"{m.duration_hours:.3f}",
+                    _fmt(m.duration_hours),
                 ]
             )
 
@@ -198,9 +209,9 @@ def write_jobs(path: Path, jobs: Sequence[JobRecord]) -> None:
             w.writerow(
                 [
                     j.job_id,
-                    f"{j.submit_time:.6f}",
-                    f"{j.dispatch_time:.6f}",
-                    f"{j.end_time:.6f}",
+                    _fmt(j.submit_time),
+                    _fmt(j.dispatch_time),
+                    _fmt(j.end_time),
                     j.user_id,
                     j.num_processors,
                     ";".join(str(n) for n in j.node_ids),
@@ -247,7 +258,7 @@ def write_temperatures(path: Path, readings: Sequence[TemperatureReading]) -> No
         w = csv.writer(fh)
         w.writerow(_TEMPERATURES_HEADER)
         for r in sorted(readings):
-            w.writerow([f"{r.time:.6f}", r.node_id, f"{r.celsius:.3f}"])
+            w.writerow([_fmt(r.time), r.node_id, _fmt(r.celsius)])
 
 
 def read_temperatures(path: Path, system_id: int) -> list[TemperatureReading]:
@@ -301,7 +312,7 @@ def write_neutrons(path: Path, readings: Sequence[NeutronReading]) -> None:
         w = csv.writer(fh)
         w.writerow(_NEUTRONS_HEADER)
         for r in sorted(readings):
-            w.writerow([f"{r.time:.6f}", f"{r.counts_per_minute:.3f}"])
+            w.writerow([_fmt(r.time), _fmt(r.counts_per_minute)])
 
 
 def read_neutrons(path: Path) -> list[NeutronReading]:
@@ -336,8 +347,8 @@ def save_archive(archive: Archive, root: Path | str) -> None:
                     ds.group.value,
                     ds.num_nodes,
                     ds.processors_per_node,
-                    f"{ds.period.start:.6f}",
-                    f"{ds.period.end:.6f}",
+                    _fmt(ds.period.start),
+                    _fmt(ds.period.end),
                 ]
             )
     write_neutrons(root / "neutrons.csv", archive.neutron_series)

@@ -77,7 +77,7 @@ class JobRecord:
             )
         if not self.node_ids:
             raise UsageError("a job must be assigned to at least one node")
-        if any(n < 0 for n in self.node_ids):
+        if min(self.node_ids) < 0:
             raise UsageError(f"negative node id in {self.node_ids!r}")
         if len(set(self.node_ids)) != len(self.node_ids):
             raise UsageError(f"duplicate node ids in {self.node_ids!r}")

@@ -80,38 +80,73 @@ def _resolve_job_failures(
     job kills whose outage the overlap marking misses (the Section VI
     mechanism: some users' access patterns surface latent hard errors).
     """
+    n_jobs = usage.n_jobs
+    if n_jobs == 0:
+        return []
+    offsets = usage.job_node_offsets
+    sizes = np.diff(offsets)
+    pair_job = np.repeat(np.arange(n_jobs, dtype=np.int64), sizes)
+    pair_node = usage.job_nodes
+    dispatch = usage.job_dispatch
+    end = usage.job_end
+
+    # Overlap test, grouped by node so each node's sorted failure times
+    # are searched once for all jobs touching that node.
+    failed = np.zeros(n_jobs, dtype=bool)
+    order = np.argsort(pair_node, kind="stable")
+    grouped_nodes = pair_node[order]
+    bounds = np.flatnonzero(np.diff(grouped_nodes)) + 1
+    for sel in np.split(order, bounds):
+        times = failure_times_by_node[int(pair_node[sel[0]])]
+        if times.size == 0:
+            continue
+        jobs_here = pair_job[sel]
+        i = np.searchsorted(times, dispatch[jobs_here], side="right")
+        ok = i < times.size
+        hit = np.zeros(sel.size, dtype=bool)
+        hit[ok] = times[i[ok]] <= end[jobs_here][ok]
+        failed[jobs_here[hit]] = True
+
+    # Extra risk term for non-failed jobs of high-risk users.  The
+    # uniform draws are batched in ascending job order, consuming the
+    # stream exactly as the old one-draw-per-eligible-job loop did.
     coef = config.effects.user_extra_fail_coef
-    records = []
-    for d in usage.drafts:
-        failed = False
-        for node in d.node_ids:
-            times = failure_times_by_node[node]
-            if times.size == 0:
-                continue
-            i = np.searchsorted(times, d.dispatch_time, side="right")
-            if i < times.size and times[i] <= d.end_time:
-                failed = True
-                break
-        if not failed and coef > 0:
-            excess_risk = max(float(usage.user_risks[d.user_id]) - 1.0, 0.0)
-            processor_days = (d.end_time - d.dispatch_time) * d.num_processors
-            p_extra = min(0.5, coef * processor_days * excess_risk)
-            if p_extra > 0 and rng.random() < p_extra:
-                failed = True
-        records.append(
-            JobRecord(
-                submit_time=d.submit_time,
-                system_id=spec.system_id,
-                job_id=d.job_id,
-                dispatch_time=d.dispatch_time,
-                end_time=d.end_time,
-                user_id=d.user_id,
-                num_processors=d.num_processors,
-                node_ids=d.node_ids,
-                failed_due_to_node=failed,
-            )
+    if coef > 0:
+        nprocs = (sizes * usage.processors_per_node).astype(float)
+        excess = np.maximum(usage.user_risks[usage.job_user] - 1.0, 0.0)
+        processor_days = (end - dispatch) * nprocs
+        p_extra = np.minimum(0.5, coef * processor_days * excess)
+        eligible = ~failed & (p_extra > 0)
+        n_eligible = int(eligible.sum())
+        if n_eligible:
+            draws = rng.random(n_eligible)
+            extra = np.zeros(n_jobs, dtype=bool)
+            extra[eligible] = draws < p_extra[eligible]
+            failed |= extra
+
+    sid = spec.system_id
+    ppn = usage.processors_per_node
+    failed_l = failed.tolist()
+    submit_l = usage.job_submit.tolist()
+    dispatch_l = dispatch.tolist()
+    end_l = end.tolist()
+    users_l = usage.job_user.tolist()
+    nodes_l = pair_node.tolist()
+    offsets_l = offsets.tolist()
+    return [
+        JobRecord(
+            submit_time=submit_l[j],
+            system_id=sid,
+            job_id=j,
+            dispatch_time=dispatch_l[j],
+            end_time=end_l[j],
+            user_id=users_l[j],
+            num_processors=(offsets_l[j + 1] - offsets_l[j]) * ppn,
+            node_ids=tuple(nodes_l[offsets_l[j] : offsets_l[j + 1]]),
+            failed_due_to_node=failed_l[j],
         )
-    return records
+        for j in range(n_jobs)
+    ]
 
 
 def generate_system(
@@ -172,10 +207,19 @@ def generate_system(
 
     jobs: list[JobRecord] = []
     if usage is not None:
-        by_node: list[list[float]] = [[] for _ in range(spec.num_nodes)]
-        for f in failures:
-            by_node[f.node_id].append(f.time)
-        failure_times = [np.asarray(ts) for ts in by_node]
+        # Per-node failure-time arrays: failures are time-sorted, so a
+        # stable sort by node yields sorted per-node blocks directly.
+        n_f = len(failures)
+        f_times = np.fromiter((f.time for f in failures), float, n_f)
+        f_nodes = np.fromiter((f.node_id for f in failures), np.int64, n_f)
+        order = np.argsort(f_nodes, kind="stable")
+        empty = np.empty(0, dtype=float)
+        failure_times = [empty] * spec.num_nodes
+        if n_f:
+            grouped = f_nodes[order]
+            bounds = np.flatnonzero(np.diff(grouped)) + 1
+            for sel in np.split(order, bounds):
+                failure_times[int(f_nodes[sel[0]])] = f_times[sel]
         jobs = _resolve_job_failures(
             usage,
             spec,
@@ -198,12 +242,34 @@ def generate_system(
     )
 
 
-def make_archive(config: ArchiveConfig | None = None) -> Archive:
+def _system_job(
+    spec: SystemSpec, config: ArchiveConfig, flux_per_day: np.ndarray
+) -> SystemDataset:
+    """Generate one system from scratch (the unit of worker parallelism).
+
+    Every RNG stream is derived by *name* from ``config.seed``
+    (``system-{sid}/usage`` and friends), so a worker constructing its
+    own :class:`RngStreams` draws exactly the values the serial path
+    would: archives are identical at any worker count by construction.
+    """
+    return generate_system(spec, config, RngStreams(config.seed), flux_per_day)
+
+
+def make_archive(
+    config: ArchiveConfig | None = None, *, workers: int | None = None
+) -> Archive:
     """Generate a complete archive from a configuration.
 
     With no argument, generates the full-scale LANL-like archive (ten
     systems plus system 8, nine years); pass
     :func:`~repro.simulate.config.small_config` output for quick runs.
+
+    Args:
+        config: archive configuration (defaults to the full catalogue).
+        workers: number of worker processes to generate systems in.
+            ``None``, 0 or 1 generate serially; higher values fan the
+            per-system work out over a process pool.  The output is
+            identical at any worker count (see :func:`_system_job`).
     """
     config = config or ArchiveConfig()
     streams = RngStreams(config.seed)
@@ -212,10 +278,17 @@ def make_archive(config: ArchiveConfig | None = None) -> Archive:
         streams.get("neutrons"),
         sample_interval_days=config.neutron_sample_interval_days,
     )
-    systems = [
-        generate_system(spec, config, streams, flux_per_day)
-        for spec in config.scaled_systems()
-    ]
+    specs = config.scaled_systems()
+    if workers and workers > 1 and len(specs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        from itertools import repeat
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+            systems = list(
+                pool.map(_system_job, specs, repeat(config), repeat(flux_per_day))
+            )
+    else:
+        systems = [_system_job(spec, config, flux_per_day) for spec in specs]
     return Archive(systems, neutron_series=neutron_readings)
 
 

@@ -1,0 +1,390 @@
+"""On-disk archive cache keyed by a digest of the full configuration.
+
+Generating the benchmark-scale archive takes tens of seconds; analyses,
+benchmarks and the CLI frequently re-request the *same* configuration.
+This module memoises :func:`~repro.simulate.archive.make_archive` on
+disk:
+
+* the cache key is a SHA-256 over a canonical JSON rendering of the
+  complete :class:`~repro.simulate.config.ArchiveConfig` -- every
+  :class:`~repro.simulate.config.EffectSizes` field, every system spec,
+  every enum-keyed mix -- plus
+  :data:`~repro.simulate.failures.GENERATOR_VERSION`, so *any* change to
+  the configuration or to the generator's RNG-stream layout produces a
+  different key;
+* entries are pickles written atomically (temp file + ``os.replace``),
+  so a crashed or concurrent writer can never leave a half-written
+  entry in place;
+* the bulky job and temperature logs are stored as flat numpy columns
+  and materialised lazily on first access, so a warm load costs a few
+  array reads instead of unpickling hundreds of thousands of record
+  objects (see :class:`_LazyColumnarSystem`);
+* loads are corruption-tolerant: an unreadable, truncated or
+  wrong-format entry is treated as a miss (and deleted when possible),
+  never an error -- the archive is simply regenerated.
+
+The cache directory defaults to ``$XDG_CACHE_HOME/hpcfail/archives``
+(``~/.cache/hpcfail/archives``) and can be overridden with the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..records.dataset import Archive, SystemDataset
+from ..records.environment import TemperatureReading
+from ..records.usage import JobRecord
+from .archive import make_archive
+from .config import ArchiveConfig
+from .failures import GENERATOR_VERSION
+
+_MAGIC = "hpcfail-archive"
+#: Bump when the pickle payload layout changes (not the archive schema:
+#: record-class changes already change unpickling behaviour).
+_FORMAT_VERSION = 2
+
+
+def cache_dir() -> Path:
+    """The archive cache directory (not necessarily existing yet).
+
+    ``REPRO_CACHE_DIR`` overrides; otherwise ``XDG_CACHE_HOME`` (or
+    ``~/.cache``) ``/hpcfail/archives``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "hpcfail" / "archives"
+
+
+def _canonical(obj):
+    """Reduce a config object to JSON-serialisable canonical form.
+
+    Dataclasses carry their type name (two configs of different classes
+    with equal fields must not collide); enums serialise as
+    ``ClassName.MEMBER``; dict entries are sorted so insertion order
+    cannot leak into the key; floats use ``repr`` (shortest round-trip,
+    and keeps ``1.0`` distinct from the int ``1``).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                ([_canonical(k), _canonical(v)] for k, v in obj.items()),
+                key=lambda kv: json.dumps(kv[0], sort_keys=True),
+            )
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, float):
+        return f"float:{obj!r}"
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for the cache key"
+    )
+
+
+def config_digest(config: ArchiveConfig) -> str:
+    """Hex SHA-256 cache key for a configuration.
+
+    Covers every field of the config (recursively, including effect
+    sizes and system specs) and the generator version, so equal digests
+    imply bit-identical archives.
+    """
+    payload = {
+        "magic": _MAGIC,
+        "generator_version": GENERATOR_VERSION,
+        "config": _canonical(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_path(config: ArchiveConfig, directory: Path | None = None) -> Path:
+    """The cache file an archive for ``config`` would live at."""
+    return (directory or cache_dir()) / f"{config_digest(config)}.pkl"
+
+
+# --- columnar payload ------------------------------------------------------
+#
+# An archive's bulk is its job and temperature logs: hundreds of
+# thousands of small record objects whose one-by-one unpickling costs as
+# much as regenerating them.  The cache therefore stores those two logs
+# as flat numpy columns and materialises the record tuples lazily on
+# first access -- a warm load deserialises a handful of arrays, and
+# analyses that never touch ``ds.jobs`` / ``ds.temperatures`` (most of
+# them: the window engine runs off the failure log) never pay for them.
+
+
+class _LazyColumnarSystem(SystemDataset):
+    """A :class:`SystemDataset` decoded from columnar cache payload.
+
+    Job and temperature logs live as numpy columns in the instance dict
+    and materialise into the usual record tuples on first attribute
+    access (the properties shadow the dataclass fields).  Constructed
+    only by :func:`_decode_system` via ``__new__``: the payload was
+    validated when the original dataset was built, so ``__post_init__``
+    is deliberately skipped.
+
+    The properties have setters (storing straight into the instance
+    dict) so that ``dataclasses.replace`` and the generated frozen
+    ``__init__`` -- which assign fields via ``object.__setattr__`` --
+    keep working on instances of this class; normal attribute assignment
+    still raises ``FrozenInstanceError`` through the dataclass
+    ``__setattr__``.
+    """
+
+    @property
+    def jobs(self) -> tuple[JobRecord, ...]:
+        cached = self.__dict__.get("_jobs")
+        if cached is None:
+            c = self.__dict__["_job_cols"]
+            submit = c["submit"].tolist()
+            job_id = c["job_id"].tolist()
+            dispatch = c["dispatch"].tolist()
+            end = c["end"].tolist()
+            user = c["user"].tolist()
+            nprocs = c["nprocs"].tolist()
+            failed = c["failed"].tolist()
+            offsets = c["offsets"].tolist()
+            nodes = c["nodes"].tolist()
+            sid = self.system_id
+            cached = tuple(
+                JobRecord(
+                    submit_time=submit[i],
+                    system_id=sid,
+                    job_id=job_id[i],
+                    dispatch_time=dispatch[i],
+                    end_time=end[i],
+                    user_id=user[i],
+                    num_processors=nprocs[i],
+                    node_ids=tuple(nodes[offsets[i] : offsets[i + 1]]),
+                    failed_due_to_node=failed[i],
+                )
+                for i in range(len(submit))
+            )
+            self.__dict__["_jobs"] = cached
+        return cached
+
+    @jobs.setter
+    def jobs(self, value) -> None:
+        self.__dict__["_jobs"] = tuple(value)
+
+    @property
+    def temperatures(self) -> tuple[TemperatureReading, ...]:
+        cached = self.__dict__.get("_temperatures")
+        if cached is None:
+            from itertools import repeat
+
+            c = self.__dict__["_temp_cols"]
+            cached = tuple(
+                map(
+                    TemperatureReading,
+                    c["time"].tolist(),
+                    repeat(self.system_id),
+                    c["node"].tolist(),
+                    c["celsius"].tolist(),
+                )
+            )
+            self.__dict__["_temperatures"] = cached
+        return cached
+
+    @temperatures.setter
+    def temperatures(self, value) -> None:
+        self.__dict__["_temperatures"] = tuple(value)
+
+
+def _encode_system(ds: SystemDataset) -> dict:
+    """Reduce one system to a columnar cache payload."""
+    jobs = ds.jobs
+    n_jobs = len(jobs)
+    node_counts = np.fromiter(
+        (len(j.node_ids) for j in jobs), np.int64, n_jobs
+    )
+    offsets = np.zeros(n_jobs + 1, dtype=np.int64)
+    np.cumsum(node_counts, out=offsets[1:])
+    temps = ds.temperatures
+    n_temps = len(temps)
+    return {
+        "system_id": ds.system_id,
+        "group": ds.group,
+        "num_nodes": ds.num_nodes,
+        "processors_per_node": ds.processors_per_node,
+        "period": ds.period,
+        "layout": ds.layout,
+        "failures": ds.failures,
+        "maintenance": ds.maintenance,
+        "job_cols": {
+            "submit": np.fromiter((j.submit_time for j in jobs), float, n_jobs),
+            "job_id": np.fromiter((j.job_id for j in jobs), np.int64, n_jobs),
+            "dispatch": np.fromiter(
+                (j.dispatch_time for j in jobs), float, n_jobs
+            ),
+            "end": np.fromiter((j.end_time for j in jobs), float, n_jobs),
+            "user": np.fromiter((j.user_id for j in jobs), np.int64, n_jobs),
+            "nprocs": np.fromiter(
+                (j.num_processors for j in jobs), np.int64, n_jobs
+            ),
+            "failed": np.fromiter(
+                (j.failed_due_to_node for j in jobs), bool, n_jobs
+            ),
+            "offsets": offsets,
+            "nodes": np.fromiter(
+                (n for j in jobs for n in j.node_ids),
+                np.int64,
+                int(offsets[-1]),
+            ),
+        },
+        "temp_cols": {
+            "time": np.fromiter((t.time for t in temps), float, n_temps),
+            "node": np.fromiter((t.node_id for t in temps), np.int64, n_temps),
+            "celsius": np.fromiter(
+                (t.celsius for t in temps), float, n_temps
+            ),
+        },
+    }
+
+
+def _decode_system(payload: dict) -> SystemDataset:
+    ds = object.__new__(_LazyColumnarSystem)
+    d = ds.__dict__
+    for name in (
+        "system_id",
+        "group",
+        "num_nodes",
+        "processors_per_node",
+        "period",
+        "layout",
+        "failures",
+        "maintenance",
+    ):
+        d[name] = payload[name]
+    d["_job_cols"] = payload["job_cols"]
+    d["_temp_cols"] = payload["temp_cols"]
+    return ds
+
+
+def _encode_archive(archive: Archive) -> dict:
+    return {
+        "neutrons": archive.neutron_series,
+        "systems": [_encode_system(ds) for ds in archive],
+    }
+
+
+def _decode_archive(payload: dict) -> Archive:
+    return Archive(
+        (_decode_system(s) for s in payload["systems"]),
+        neutron_series=payload["neutrons"],
+    )
+
+
+def load_cached(
+    config: ArchiveConfig, directory: Path | None = None
+) -> Archive | None:
+    """Load the cached archive for ``config``, or ``None`` on any miss.
+
+    Corrupted, truncated or foreign files at the expected path are
+    removed (best-effort) and reported as a miss.
+    """
+    path = cache_path(config, directory)
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        _discard(path)
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("magic") != _MAGIC
+        or payload.get("format") != _FORMAT_VERSION
+        or payload.get("digest") != config_digest(config)
+    ):
+        _discard(path)
+        return None
+    try:
+        return _decode_archive(payload["archive"])
+    except Exception:
+        _discard(path)
+        return None
+
+
+def _discard(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def store_cached(
+    config: ArchiveConfig, archive: Archive, directory: Path | None = None
+) -> Path:
+    """Atomically write ``archive`` to the cache; returns the entry path."""
+    path = cache_path(config, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "magic": _MAGIC,
+        "format": _FORMAT_VERSION,
+        "digest": config_digest(config),
+        "archive": _encode_archive(archive),
+    }
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        _discard(Path(tmp))
+        raise
+    return path
+
+
+def cached_make_archive(
+    config: ArchiveConfig | None = None,
+    *,
+    workers: int | None = None,
+    directory: Path | None = None,
+    refresh: bool = False,
+) -> Archive:
+    """:func:`make_archive` memoised on disk.
+
+    Args:
+        config: archive configuration (defaults to the full catalogue).
+        workers: worker processes for a cache-miss generation (the
+            output -- and therefore the cache entry -- is identical at
+            any worker count).
+        directory: cache directory override (default :func:`cache_dir`).
+        refresh: regenerate and overwrite even on a hit.
+    """
+    config = config or ArchiveConfig()
+    if not refresh:
+        archive = load_cached(config, directory)
+        if archive is not None:
+            return archive
+    archive = make_archive(config, workers=workers)
+    store_cached(config, archive, directory)
+    return archive

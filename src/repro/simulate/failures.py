@@ -20,6 +20,21 @@ component from the power-conditioned mix (node boards, PSUs, memory --
 not CPUs), reproducing Figures 10/11/13 (right).  Organic hardware
 failures repeat the node's previous component with probability
 ``hw_subtype_repeat_prob``, modelling hard (not cosmic-ray) errors.
+
+Vectorisation (generator v2)
+----------------------------
+The engine exploits the exact Poisson decomposition: instead of drawing
+an independent Poisson count for every ``(node, category)`` cell every
+day, it draws one scalar ``K ~ Poisson(sum of all cell hazards)`` and,
+when ``K > 0``, assigns the K failures to cells categorically with
+probabilities proportional to the cell hazards.  The two processes have
+identical distributions, but the scalar draw turns the per-day cost from
+``O(N x 6)`` random variates into ``O(1)`` on the (majority of) days
+with no failures.  Failure timestamps, subtype-mix draws and repair
+times are drawn in batches.  The *distribution* of archives is unchanged
+from v1, but the exact stream consumption differs, so a given seed
+produces a different (equally valid) realisation; ``GENERATOR_VERSION``
+records this and is mixed into archive cache keys.
 """
 
 from __future__ import annotations
@@ -46,9 +61,14 @@ from .config import (
     N_CATEGORIES,
     SystemSpec,
 )
-from .hazards import CascadeState, StressorState, sample_downtime
+from .hazards import CascadeState, StressorState
 from .power import StressorTraces
 from .usage import UsageTraces
+
+#: Bumped whenever the generator's seeded-RNG consumption changes, so a
+#: seed maps to a stable realisation *per version* and on-disk archive
+#: caches never serve output from a different generator.
+GENERATOR_VERSION = 2
 
 _HW = CATEGORY_INDEX[Category.HARDWARE]
 _SW = CATEGORY_INDEX[Category.SOFTWARE]
@@ -74,6 +94,26 @@ def _mix_arrays(mix: dict) -> tuple[list, np.ndarray]:
     subs = list(mix)
     weights = np.array([mix[s] for s in subs], dtype=float)
     return subs, weights / weights.sum()
+
+
+class _MixSampler:
+    """Cheap categorical sampler: cumulative weights + searchsorted.
+
+    ``numpy.random.Generator.choice`` re-normalises and re-cumsums its
+    probability vector on every call, which dominated the per-failure
+    cost of the v1 engine; this pre-computes the CDF once.
+    """
+
+    __slots__ = ("subs", "cdf")
+
+    def __init__(self, subs: list, weights: np.ndarray) -> None:
+        self.subs = subs
+        self.cdf = np.cumsum(weights)
+        self.cdf[-1] = 1.0  # guard against round-off at the top end
+
+    def draw(self, rng: np.random.Generator):
+        i = int(np.searchsorted(self.cdf, rng.random(), side="right"))
+        return self.subs[min(i, len(self.subs) - 1)]
 
 
 def _usage_multiplier(
@@ -164,7 +204,16 @@ def simulate_failures(
     # Multiplier on the organic HW hazard for each day.
     hw_flux_factor = 1.0 - cpu_share + cpu_share * flux_pow
 
-    usage_mult = _usage_multiplier(usage, effects, n_days, n)
+    usage_mult = None if usage is None else _usage_multiplier(
+        usage, effects, n_days, n
+    )
+
+    # Per-day infant-mortality multiplier: young systems run hotter, the
+    # excess decaying over the first months of life.
+    days = np.arange(n_days, dtype=float)
+    infant = 1.0 + (effects.infant_mortality_factor - 1.0) * np.exp(
+        -days / effects.infant_period_days
+    )
 
     # --- evolving state ----------------------------------------------------
     cascade = CascadeState(
@@ -201,19 +250,23 @@ def simulate_failures(
                 (f.node_id, f.subtype)
             )
 
-    sw_subs, sw_weights = _mix_arrays(effects.sw_subtype_mix)
-    net_subs, net_weights = _mix_arrays(effects.net_subtype_mix)
-    pwr_hw_subs, pwr_hw_weights = _mix_arrays(effects.power_hw_conditional_mix)
-    pwr_sw_subs, pwr_sw_weights = _mix_arrays(effects.power_sw_conditional_mix)
-    thr_hw_subs, thr_hw_weights = _mix_arrays(effects.thermal_hw_conditional_mix)
+    organic_hw_sampler = _MixSampler(hw_subs, hw_weights)
+    sw_sampler = _MixSampler(*_mix_arrays(effects.sw_subtype_mix))
+    net_sampler = _MixSampler(*_mix_arrays(effects.net_subtype_mix))
+    pwr_hw_sampler = _MixSampler(*_mix_arrays(effects.power_hw_conditional_mix))
+    pwr_sw_sampler = _MixSampler(*_mix_arrays(effects.power_sw_conditional_mix))
+    thr_hw_sampler = _MixSampler(*_mix_arrays(effects.thermal_hw_conditional_mix))
 
     last_hw_subtype: dict[int, HardwareSubtype] = {}
     last_env_subtype: dict[int, EnvironmentSubtype] = {}
     last_sw_subtype: dict[int, SoftwareSubtype] = {}
-    records: list[FailureRecord] = []
 
-    def draw(subs: list, weights: np.ndarray) -> Subtype:
-        return subs[int(rng.choice(len(subs), p=weights))]
+    # Columnar accumulation of the organic failures; FailureRecord
+    # objects are materialised once, after the day loop.
+    rec_times: list[float] = []
+    rec_nodes: list[int] = []
+    rec_cats: list[int] = []
+    rec_subtypes: list[Subtype | None] = []
 
     def hw_subtype(node: int, day: int, organic_hw: float) -> HardwareSubtype:
         """Source-conditioned hardware component for one HW failure."""
@@ -223,9 +276,9 @@ def simulate_failures(
         total = organic_hw + casc + power + thermal
         u = rng.random() * total if total > 0 else 0.0
         if u < power:
-            return draw(pwr_hw_subs, pwr_hw_weights)
+            return pwr_hw_sampler.draw(rng)
         if u < power + thermal:
-            return draw(thr_hw_subs, thr_hw_weights)
+            return thr_hw_sampler.draw(rng)
         # Organic or cascade source: hard errors repeat components.
         prev = last_hw_subtype.get(node)
         if prev is not None and rng.random() < effects.hw_subtype_repeat_prob:
@@ -233,8 +286,10 @@ def simulate_failures(
         # CPU weight follows today's neutron flux.
         w = hw_weights.copy()
         w[cpu_idx] *= float(flux_pow[min(day, flux_pow.size - 1)])
-        w /= w.sum()
-        return draw(hw_subs, w)
+        cdf = np.cumsum(w / w.sum())
+        cdf[-1] = 1.0
+        i = int(np.searchsorted(cdf, rng.random(), side="right"))
+        return hw_subs[min(i, len(hw_subs) - 1)]
 
     def sw_subtype(node: int) -> SoftwareSubtype:
         """Source-conditioned software subsystem for one SW failure."""
@@ -243,7 +298,7 @@ def simulate_failures(
         total = organic_sw + power
         u = rng.random() * total if total > 0 else 0.0
         if u < power:
-            sub = draw(pwr_sw_subs, pwr_sw_weights)
+            sub = pwr_sw_sampler.draw(rng)
         else:
             # A flaky subsystem keeps failing: cascade follow-ups repeat
             # the previous subsystem (e.g. storage after a power event).
@@ -251,9 +306,14 @@ def simulate_failures(
             if prev is not None and rng.random() < effects.sw_subtype_repeat_prob:
                 sub = prev
             else:
-                sub = draw(sw_subs, sw_weights)
+                sub = sw_sampler.draw(rng)
         last_sw_subtype[node] = sub
         return sub
+
+    # Reusable per-day hazard buffer and scratch columns.
+    lam = np.empty((n, N_CATEGORIES), dtype=float)
+    env_col = np.empty(n, dtype=float)
+    n_cells = n * N_CATEGORIES
 
     for day in range(n_days):
         cascade.decay()
@@ -263,49 +323,59 @@ def simulate_failures(
         # Assemble the day's hazards.  Usage modulates the organic AND
         # cascade hazards (a stressed node fails more readily under the
         # same workload conditions) but not externally-caused ENV events
-        # or the exogenous power/thermal stressor boosts.  Young systems
-        # run hotter: the infant-mortality multiplier decays over the
-        # first months of life.
-        infant = 1.0 + (effects.infant_mortality_factor - 1.0) * math.exp(
-            -day / effects.infant_period_days
-        )
-        lam = node_cat * infant
-        day_flux = float(hw_flux_factor[min(day, hw_flux_factor.size - 1)])
-        lam[:, _HW] *= day_flux
+        # or the exogenous power/thermal stressor boosts.
+        np.multiply(node_cat, infant[day], out=lam)
+        lam[:, _HW] *= hw_flux_factor[min(day, hw_flux_factor.size - 1)]
         lam += cascade.boost
-        if usage is not None:
-            um = usage_mult[day][:, None]
-            non_env = [i for i in range(N_CATEGORIES) if i != _ENV]
-            lam[:, non_env] *= um
-        lam[:, _HW] += stressor_state.hw + stressor_state.thermal
+        if usage_mult is not None:
+            um = usage_mult[day]
+            env_col[:] = lam[:, _ENV]
+            lam *= um[:, None]
+            lam[:, _ENV] = env_col
+        lam[:, _HW] += stressor_state.hw
+        lam[:, _HW] += stressor_state.thermal
         lam[:, _SW] += stressor_state.sw
 
-        counts = rng.poisson(lam)
-        nodes_idx, cats_idx = np.nonzero(counts)
+        # Exact Poisson decomposition: one scalar total draw, then a
+        # categorical assignment of the K failures to (node, cat) cells.
+        total_lam = float(lam.sum())
+        k = int(rng.poisson(total_lam)) if total_lam > 0 else 0
+
         day_nodes: list[int] = []
         day_cats: list[int] = []
-        for node, cat in zip(nodes_idx, cats_idx):
-            for _ in range(int(counts[node, cat])):
-                t = day + rng.random()
+        if k:
+            cdf = np.cumsum(lam.ravel())
+            cells = np.searchsorted(
+                cdf, rng.random(k) * cdf[-1], side="right"
+            )
+            np.clip(cells, 0, n_cells - 1, out=cells)
+            cells.sort()  # process in (node, category) order, as v1 did
+            offsets = rng.random(k)
+            day_flux = float(
+                hw_flux_factor[min(day, hw_flux_factor.size - 1)]
+            )
+            for cell, off in zip(cells.tolist(), offsets.tolist()):
+                t = day + off
                 if t >= duration:
                     continue
+                node, cat = divmod(cell, N_CATEGORIES)
                 category = CATEGORY_ORDER[cat]
                 subtype: Subtype | None
                 if cat == _HW:
                     organic_hw = float(node_cat[node, _HW]) * day_flux
-                    if usage is not None:
+                    if usage_mult is not None:
                         organic_hw *= float(usage_mult[day, node])
-                    sub = hw_subtype(int(node), day, organic_hw)
-                    last_hw_subtype[int(node)] = sub
+                    sub = hw_subtype(node, day, organic_hw)
+                    last_hw_subtype[node] = sub
                     subtype = sub
                 elif cat == _SW:
-                    subtype = sw_subtype(int(node))
+                    subtype = sw_subtype(node)
                 elif cat == _ENV:
                     # Environmental follow-ups usually repeat the kind of
                     # problem the node just saw (another outage during a
                     # grid-instability episode); only fresh organic ones
                     # are "other environment".
-                    prev_env = last_env_subtype.get(int(node))
+                    prev_env = last_env_subtype.get(node)
                     if (
                         prev_env is not None
                         and rng.random() < effects.env_subtype_repeat_prob
@@ -314,21 +384,15 @@ def simulate_failures(
                     else:
                         subtype = EnvironmentSubtype.OTHER_ENV
                 elif category is Category.NETWORK:
-                    subtype = draw(net_subs, net_weights)
+                    subtype = net_sampler.draw(rng)
                 else:
                     subtype = None
-                records.append(
-                    FailureRecord(
-                        time=float(t),
-                        system_id=spec.system_id,
-                        node_id=int(node),
-                        category=category,
-                        subtype=subtype,
-                        downtime_hours=sample_downtime(category, rng, effects),
-                    )
-                )
-                day_nodes.append(int(node))
-                day_cats.append(int(cat))
+                rec_times.append(t)
+                rec_nodes.append(node)
+                rec_cats.append(cat)
+                rec_subtypes.append(subtype)
+                day_nodes.append(node)
+                day_cats.append(cat)
 
         # Cascades absorb today's organic *and* exogenous failures.
         day_nodes.extend(exo_nodes_by_day.get(day, ()))
@@ -343,5 +407,31 @@ def simulate_failures(
                 np.asarray(day_cats, dtype=np.int64),
             )
 
-    records.sort()
-    return records
+    # --- batched record materialisation -----------------------------------
+    # Repair times are drawn per category (in CATEGORY_ORDER, then record
+    # order), which is deterministic and replaces one lognormal variate
+    # call per failure with one call per category.
+    n_rec = len(rec_times)
+    cats_arr = np.asarray(rec_cats, dtype=np.int64)
+    downtimes = np.empty(n_rec, dtype=float)
+    for cat_idx, category in enumerate(CATEGORY_ORDER):
+        sel = np.nonzero(cats_arr == cat_idx)[0]
+        if sel.size:
+            mu, sigma = effects.downtime_lognorm[category]
+            downtimes[sel] = rng.lognormal(mu, sigma, sel.size)
+
+    times_arr = np.asarray(rec_times, dtype=float)
+    nodes_arr = np.asarray(rec_nodes, dtype=np.int64)
+    order = np.lexsort((nodes_arr, times_arr))
+    sid = spec.system_id
+    return [
+        FailureRecord(
+            time=times_arr[i],
+            system_id=sid,
+            node_id=int(nodes_arr[i]),
+            category=CATEGORY_ORDER[rec_cats[i]],
+            subtype=rec_subtypes[i],
+            downtime_hours=downtimes[i],
+        )
+        for i in order.tolist()
+    ]

@@ -79,10 +79,14 @@ class CascadeState:
             self._num_racks = int(rack_of.max()) + 1
             counts = np.bincount(rack_of)
             max_rack = int(counts.max())
+            self._rack_members = [
+                np.flatnonzero(rack_of == r) for r in range(self._num_racks)
+            ]
         else:
             self._rack_of = None
             self._num_racks = 0
             max_rack = 1
+            self._rack_members = []
         # Guard against a supercritical cascade: per trigger category, the
         # expected number of spawned follow-ups across node, rack and
         # system terms (each boost integrates to row_sum * tau over time).
@@ -110,25 +114,29 @@ class CascadeState:
             failure_nodes: node index of each failure (int array).
             failure_cats: category index (0..5) of each failure.
         """
-        if failure_nodes.size == 0:
+        nodes = np.asarray(failure_nodes, dtype=np.int64)
+        cats = np.asarray(failure_cats, dtype=np.int64)
+        if nodes.size == 0:
             return
-        # Per-(node, category) failure counts for the day.
-        day_counts = np.zeros((self.num_nodes, N_CATEGORIES))
-        np.add.at(day_counts, (failure_nodes, failure_cats), 1.0)
-        # Same-node boosts: counts (N,6) x matrix (6,6) -> (N,6).
-        self.boost += day_counts @ self._node_matrix
+        # A day rarely sees more than a handful of failures, so sparse
+        # per-failure row updates beat dense (N, 6) count matrices.
+        nodes_l = nodes.tolist()
+        cats_l = cats.tolist()
+        # Same-node boosts: each failure adds its trigger row to its node.
+        for node, cat in zip(nodes_l, cats_l):
+            self.boost[node] += self._node_matrix[cat]
         # Same-system boosts: every node receives the system-wide total.
         # (The origin node's own small extra contribution is negligible
         # against its same-node term and is deliberately not subtracted.)
-        cat_totals = day_counts.sum(axis=0)
+        cat_totals = np.bincount(cats, minlength=N_CATEGORIES).astype(float)
         self.boost += cat_totals @ self._system_matrix
-        # Same-rack boosts: rack totals minus own contribution, so a
+        # Same-rack boosts: rack neighbours minus the origin node, so a
         # failure boosts its *neighbours*, not (again) its own node.
         if self._rack_of is not None:
-            rack_counts = np.zeros((self._num_racks, N_CATEGORIES))
-            np.add.at(rack_counts, self._rack_of, day_counts)
-            neighbour_counts = rack_counts[self._rack_of] - day_counts
-            self.boost += neighbour_counts @ self._rack_matrix
+            for node, cat in zip(nodes_l, cats_l):
+                row = self._rack_matrix[cat]
+                self.boost[self._rack_members[self._rack_of[node]]] += row
+                self.boost[node] -= row
 
 
 @dataclass

@@ -19,6 +19,7 @@ generator therefore:
 from __future__ import annotations
 
 import math
+from itertools import repeat
 
 import numpy as np
 
@@ -78,30 +79,52 @@ def generate_temperatures(
                 )
             )
 
-    readings: list[TemperatureReading] = []
+    # --- vectorised sample assembly ------------------------------------
+    # All nodes share the jittered grid; per-node sample blocks are laid
+    # out contiguously (node 0's samples, then node 1's, ...), which (a)
+    # consumes the noise stream in exactly the per-node order the old
+    # day-loop used, keeping output bit-identical, and (b) keeps each
+    # node's times sorted so excursions can be located by searchsorted.
     two_pi = 2.0 * math.pi
-    for node in range(n):
-        times = grid + jitter[node]
-        times = times[times < duration]
-        diurnal = effects.temp_diurnal_amplitude_c * np.sin(two_pi * times)
-        noise = rng.normal(0.0, effects.temp_noise_c, times.size)
-        temps = baselines[node] + diurnal + noise
-        for start, end, peak, exc_node in excursions:
-            if exc_node is not None and exc_node != node:
-                continue
-            in_window = (times >= start) & (times < end)
-            if in_window.any():
-                # Linear rise-and-fall peaking mid-excursion.
-                rel = (times[in_window] - start) / (end - start)
-                temps[in_window] += peak * (1.0 - np.abs(2.0 * rel - 1.0))
-        for t, c in zip(times, temps):
-            readings.append(
-                TemperatureReading(
-                    time=float(t),
-                    system_id=spec.system_id,
-                    node_id=node,
-                    celsius=float(np.clip(c, -50.0, 150.0)),
-                )
-            )
-    readings.sort()
-    return readings
+    all_times = grid[None, :] + jitter[:, None]  # (n, len(grid))
+    keep = all_times < duration
+    lengths = keep.sum(axis=1)
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=starts[1:])
+    flat_times = all_times[keep]
+    node_idx = np.repeat(np.arange(n), lengths)
+
+    noise = rng.normal(0.0, effects.temp_noise_c, flat_times.size)
+    temps = (
+        baselines[node_idx]
+        + effects.temp_diurnal_amplitude_c * np.sin(two_pi * flat_times)
+        + noise
+    )
+
+    def apply_excursion(node: int, start: float, end: float, peak: float):
+        b, e = starts[node], starts[node + 1]
+        lo = b + np.searchsorted(flat_times[b:e], start, side="left")
+        hi = b + np.searchsorted(flat_times[b:e], end, side="left")
+        if hi > lo:
+            # Linear rise-and-fall peaking mid-excursion.
+            rel = (flat_times[lo:hi] - start) / (end - start)
+            temps[lo:hi] += peak * (1.0 - np.abs(2.0 * rel - 1.0))
+
+    for start, end, peak, exc_node in excursions:
+        if exc_node is not None:
+            apply_excursion(exc_node, start, end, peak)
+        else:
+            for node in range(n):
+                apply_excursion(node, start, end, peak)
+
+    np.clip(temps, -50.0, 150.0, out=temps)
+    order = np.lexsort((node_idx, flat_times))
+    return list(
+        map(
+            TemperatureReading,
+            flat_times[order].tolist(),
+            repeat(spec.system_id),
+            node_idx[order].tolist(),
+            temps[order].tolist(),
+        )
+    )

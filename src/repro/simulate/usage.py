@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -47,10 +48,24 @@ class JobDraft:
 
 @dataclass(frozen=True)
 class UsageTraces:
-    """Job drafts plus the per-day arrays the hazard model consumes.
+    """Columnar job log plus the per-day arrays the hazard model consumes.
+
+    Jobs are stored as parallel arrays (sorted by submit time): the
+    failure-overlap resolution in the archive builder and the hazard
+    model both work on whole columns, so materialising one
+    :class:`JobDraft` object per job would only be constructor overhead
+    on the generation hot path.  :attr:`drafts` builds the object view
+    lazily for callers that want per-job records.
 
     Attributes:
-        drafts: generated jobs, sorted by submit time.
+        job_submit: ``(J,)`` submit times.
+        job_dispatch: ``(J,)`` dispatch times.
+        job_end: ``(J,)`` end times.
+        job_user: ``(J,)`` submitting user ids.
+        job_node_offsets: ``(J+1,)`` offsets into :attr:`job_nodes`.
+        job_nodes: per-job sorted unique node ids, concatenated; job
+            ``j`` ran on ``job_nodes[job_node_offsets[j]:job_node_offsets[j+1]]``.
+        processors_per_node: processors each assigned node contributes.
         jobs_started: ``(T, N)`` count of jobs dispatched to each node
             each day.
         busy_fraction: ``(T, N)`` fraction of each day each node had at
@@ -60,11 +75,44 @@ class UsageTraces:
         user_risks: per-user riskiness multipliers, indexed by user id.
     """
 
-    drafts: tuple[JobDraft, ...]
+    job_submit: np.ndarray
+    job_dispatch: np.ndarray
+    job_end: np.ndarray
+    job_user: np.ndarray
+    job_node_offsets: np.ndarray
+    job_nodes: np.ndarray
+    processors_per_node: int
     jobs_started: np.ndarray
     busy_fraction: np.ndarray
     user_risk: np.ndarray
     user_risks: np.ndarray
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.job_submit.size)
+
+    @cached_property
+    def drafts(self) -> tuple[JobDraft, ...]:
+        """Object view of the job log, built on first access."""
+        submit_l = self.job_submit.tolist()
+        dispatch_l = self.job_dispatch.tolist()
+        end_l = self.job_end.tolist()
+        users_l = self.job_user.tolist()
+        nodes_l = self.job_nodes.tolist()
+        offsets_l = self.job_node_offsets.tolist()
+        ppn = self.processors_per_node
+        return tuple(
+            JobDraft(
+                job_id=j,
+                submit_time=submit_l[j],
+                dispatch_time=dispatch_l[j],
+                end_time=end_l[j],
+                user_id=users_l[j],
+                num_processors=(offsets_l[j + 1] - offsets_l[j]) * ppn,
+                node_ids=tuple(nodes_l[offsets_l[j] : offsets_l[j + 1]]),
+            )
+            for j in range(self.n_jobs)
+        )
 
 
 #: Mean nodes per job implied by the geometric size distribution below;
@@ -134,7 +182,13 @@ def generate_usage(
 
     if n_jobs == 0:
         return UsageTraces(
-            drafts=(),
+            job_submit=np.empty(0, dtype=float),
+            job_dispatch=np.empty(0, dtype=float),
+            job_end=np.empty(0, dtype=float),
+            job_user=np.empty(0, dtype=np.int64),
+            job_node_offsets=np.zeros(1, dtype=np.int64),
+            job_nodes=np.empty(0, dtype=np.int64),
+            processors_per_node=spec.processors_per_node,
             jobs_started=jobs_started,
             busy_fraction=busy_occupancy,
             user_risk=user_risk,
@@ -155,46 +209,72 @@ def generate_usage(
     # per job (a job that draws the same node twice simply runs smaller).
     all_picks = rng.choice(n_nodes, size=int(sizes.sum()), p=node_weights)
 
-    drafts: list[JobDraft] = []
-    cursor = 0
     eps = 1e-6
-    for j in range(n_jobs):
-        k = int(sizes[j])
-        picks = np.unique(all_picks[cursor : cursor + k])
-        cursor += k
-        dispatch = min(submit[j] + queue_delay[j], duration - eps)
-        scaled_runtime = runtime[j] * float(node_runtime[picks[0]])
-        end = min(dispatch + min(scaled_runtime, _MAX_RUNTIME_DAYS), duration - eps)
-        if end <= dispatch:
-            end = dispatch
-        nodes = tuple(int(n) for n in picks)
-        drafts.append(
-            JobDraft(
-                job_id=j,
-                submit_time=float(submit[j]),
-                dispatch_time=float(dispatch),
-                end_time=float(end),
-                user_id=int(users[j]),
-                num_processors=len(nodes) * spec.processors_per_node,
-                node_ids=nodes,
-            )
-        )
-        # Accumulate the per-day arrays for the hazard model.
-        first_day = int(dispatch)
-        last_day = min(int(end), n_days - 1)
-        risk = float(user_risks[users[j]])
-        for node in nodes:
-            jobs_started[first_day, node] += 1.0
-            for day in range(first_day, last_day + 1):
-                overlap = min(end, day + 1.0) - max(dispatch, float(day))
-                if overlap > 0:
-                    busy_occupancy[day, node] += overlap
-                    if risk > user_risk[day, node]:
-                        user_risk[day, node] = risk
+    # De-duplicate each job's node picks without a per-job np.unique: a
+    # composite (job, node) key makes one global np.unique yield every
+    # job's sorted unique nodes as a contiguous "pair" block.
+    job_of_pick = np.repeat(np.arange(n_jobs, dtype=np.int64), sizes)
+    pair_key = np.unique(job_of_pick * n_nodes + all_picks.astype(np.int64))
+    pair_job = pair_key // n_nodes
+    pair_node = pair_key % n_nodes
+    pair_counts = np.bincount(pair_job, minlength=n_jobs)
+    offsets = np.zeros(n_jobs + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=offsets[1:])
+    # First (= lowest-id) node of each job scales its runtime.
+    first_node = pair_node[offsets[:-1]]
 
+    dispatch = np.minimum(submit + queue_delay, duration - eps)
+    scaled_runtime = runtime * node_runtime[first_node]
+    end = np.minimum(
+        dispatch + np.minimum(scaled_runtime, _MAX_RUNTIME_DAYS), duration - eps
+    )
+    np.maximum(end, dispatch, out=end)
+    first_day = dispatch.astype(np.int64)
+    last_day = np.minimum(end.astype(np.int64), n_days - 1)
+
+    # Expand every (job, node) pair into its active (day, node) cells.
+    p_first = first_day[pair_job]
+    p_len = last_day[pair_job] - p_first + 1
+    cell_pair = np.repeat(np.arange(pair_job.size), p_len)
+    group_start = np.zeros(pair_job.size, dtype=np.int64)
+    np.cumsum(p_len[:-1], out=group_start[1:])
+    cell_day = p_first[cell_pair] + (
+        np.arange(int(p_len.sum()), dtype=np.int64) - group_start[cell_pair]
+    )
+    cell_job = pair_job[cell_pair]
+    cell_node = pair_node[cell_pair]
+    overlap = np.minimum(end[cell_job], cell_day + 1.0) - np.maximum(
+        dispatch[cell_job], cell_day.astype(float)
+    )
+    active = overlap > 0.0
+
+    flat = first_day[pair_job] * n_nodes + pair_node
+    jobs_started += (
+        np.bincount(flat, minlength=n_days * n_nodes)
+        .reshape(n_days, n_nodes)
+        .astype(np.float32)
+    )
+    cell_flat = cell_day[active] * n_nodes + cell_node[active]
+    busy_occupancy += (
+        np.bincount(cell_flat, weights=overlap[active], minlength=n_days * n_nodes)
+        .reshape(n_days, n_nodes)
+        .astype(np.float32)
+    )
     np.clip(busy_occupancy, 0.0, 1.0, out=busy_occupancy)
+    np.maximum.at(
+        user_risk,
+        (cell_day[active], cell_node[active]),
+        user_risks[users[cell_job[active]]].astype(np.float32),
+    )
+
     return UsageTraces(
-        drafts=tuple(drafts),
+        job_submit=submit,
+        job_dispatch=dispatch,
+        job_end=end,
+        job_user=users.astype(np.int64),
+        job_node_offsets=offsets,
+        job_nodes=pair_node,
+        processors_per_node=spec.processors_per_node,
         jobs_started=jobs_started,
         busy_fraction=busy_occupancy,
         user_risk=user_risk,

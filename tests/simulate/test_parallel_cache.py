@@ -1,0 +1,250 @@
+"""Worker-count determinism and the on-disk archive cache.
+
+The parallel generation path must be a pure optimisation: the archive
+produced with N workers is bit-identical to the serial one, and an
+archive served from the cache is bit-identical to a fresh generation.
+The cache key must cover *every* configuration field (plus the generator
+version), and a damaged cache entry must be regenerated, never raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.records.dataset import Archive
+from repro.simulate.archive import make_archive
+from repro.simulate.cache import (
+    cache_dir,
+    cache_path,
+    cached_make_archive,
+    config_digest,
+    load_cached,
+    store_cached,
+)
+from repro.simulate.config import ArchiveConfig, EffectSizes, small_config
+
+
+def _layout_state(layout):
+    if layout is None:
+        return None
+    return tuple(layout.placement(n) for n in layout.node_ids)
+
+
+def _archive_state(archive: Archive):
+    """Every generated value of an archive, as plain comparable data.
+
+    Jobs are expanded with ``asdict`` because ``JobRecord.dispatch_time``
+    is excluded from dataclass equality, and layouts as placement tuples
+    because :class:`MachineLayout` compares by identity; determinism here
+    means *every* field matches, not just the comparable ones.
+    """
+    return {
+        "neutrons": archive.neutron_series,
+        "systems": {
+            ds.system_id: (
+                ds.group,
+                ds.num_nodes,
+                ds.processors_per_node,
+                ds.period,
+                ds.failures,
+                ds.maintenance,
+                tuple(dataclasses.asdict(j) for j in ds.jobs),
+                ds.temperatures,
+                _layout_state(ds.layout),
+            )
+            for ds in archive
+        },
+    }
+
+
+@pytest.fixture
+def config() -> ArchiveConfig:
+    return small_config(seed=11, years=1.5, scale=0.03)
+
+
+class TestWorkerDeterminism:
+    def test_two_workers_identical_to_serial(self, config):
+        serial = make_archive(config)
+        parallel = make_archive(config, workers=2)
+        assert _archive_state(parallel) == _archive_state(serial)
+
+    def test_worker_count_does_not_matter(self, config):
+        a3 = make_archive(config, workers=3)
+        a5 = make_archive(config, workers=5)
+        assert _archive_state(a3) == _archive_state(a5)
+
+    def test_workers_one_and_zero_mean_serial(self, config):
+        serial = make_archive(config)
+        assert _archive_state(make_archive(config, workers=1)) == (
+            _archive_state(serial)
+        )
+        assert _archive_state(make_archive(config, workers=0)) == (
+            _archive_state(serial)
+        )
+
+
+class TestCacheRoundTrip:
+    def test_miss_then_hit(self, config, tmp_path):
+        assert load_cached(config, tmp_path) is None
+        fresh = cached_make_archive(config, directory=tmp_path)
+        assert cache_path(config, tmp_path).exists()
+        hit = cached_make_archive(config, directory=tmp_path)
+        assert _archive_state(hit) == _archive_state(fresh)
+
+    def test_hit_identical_to_fresh_generation(self, config, tmp_path):
+        store_cached(config, make_archive(config), tmp_path)
+        cached = load_cached(config, tmp_path)
+        assert cached is not None
+        assert _archive_state(cached) == _archive_state(make_archive(config))
+
+    def test_refresh_regenerates(self, config, tmp_path):
+        cached_make_archive(config, directory=tmp_path)
+        before = cache_path(config, tmp_path).stat().st_mtime_ns
+        cached_make_archive(config, directory=tmp_path, refresh=True)
+        after = cache_path(config, tmp_path).stat().st_mtime_ns
+        assert after > before
+
+    def test_env_var_overrides_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert cache_dir() == tmp_path / "custom"
+
+    def test_cached_systems_support_dataclass_replace(self, config, tmp_path):
+        """Lazy columnar systems must behave like plain SystemDatasets.
+
+        ``prediction.evaluation`` splits datasets with
+        ``dataclasses.replace``, which reconstructs through the frozen
+        dataclass ``__init__`` -- the lazy job/temperature properties
+        must accept that assignment path.
+        """
+        store_cached(config, make_archive(config), tmp_path)
+        cached = load_cached(config, tmp_path)
+        ds = cached[20]  # has usage + temperature logs
+        clone = dataclasses.replace(ds, jobs=ds.jobs[:5])
+        assert clone.jobs == ds.jobs[:5]
+        assert clone.temperatures == ds.temperatures
+        assert clone.failures == ds.failures
+
+
+class TestCacheInvalidation:
+    def test_every_top_level_config_field_changes_the_key(self, config):
+        base = config_digest(config)
+        variants = {
+            "seed": dataclasses.replace(config, seed=config.seed + 1),
+            "years": dataclasses.replace(config, years=config.years + 0.5),
+            "scale": dataclasses.replace(config, scale=config.scale * 2),
+            "systems": dataclasses.replace(
+                config, systems=config.systems[:-1]
+            ),
+            "effects": dataclasses.replace(
+                config,
+                effects=dataclasses.replace(
+                    config.effects, cascade_decay_days=9.0
+                ),
+            ),
+            "jobs_per_node_per_year": dataclasses.replace(
+                config, jobs_per_node_per_year=7.0
+            ),
+            "num_users": dataclasses.replace(config, num_users=13),
+            "neutron_sample_interval_days": dataclasses.replace(
+                config, neutron_sample_interval_days=2.0
+            ),
+        }
+        assert set(variants) == {
+            f.name for f in dataclasses.fields(ArchiveConfig)
+        }
+        digests = {name: config_digest(v) for name, v in variants.items()}
+        for name, digest in digests.items():
+            assert digest != base, f"changing {name!r} must change the key"
+        assert len(set(digests.values())) == len(digests)
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(EffectSizes)]
+    )
+    def test_every_effect_field_changes_the_key(self, config, field_name):
+        base = config_digest(config)
+        value = getattr(config.effects, field_name)
+        if isinstance(value, float):
+            changed = value + 0.0625 if value >= 0 else value * 0.5
+        elif isinstance(value, int):
+            changed = value + 1
+        elif isinstance(value, dict):
+            k = next(iter(value))
+            v = value[k]
+            changed = {
+                **value,
+                k: tuple(x + 0.25 for x in v)
+                if isinstance(v, tuple)
+                else v + 0.25,
+            }
+        elif isinstance(value, list):
+            changed = [list(row) for row in value]
+            changed[0][0] += 0.125
+        else:  # pragma: no cover - future field types must be handled
+            pytest.fail(f"unhandled field type for {field_name}")
+        # Bypass __post_init__ validation: some mixes must sum to 1, but
+        # the *digest* must react to the raw field value regardless.
+        effects = dataclasses.replace(config.effects)
+        object.__setattr__(effects, field_name, changed)
+        variant = dataclasses.replace(config, effects=effects)
+        assert config_digest(variant) != base
+
+    def test_generator_version_is_part_of_the_key(self, config, monkeypatch):
+        import repro.simulate.cache as cache_mod
+
+        base = config_digest(config)
+        monkeypatch.setattr(
+            cache_mod, "GENERATOR_VERSION", cache_mod.GENERATOR_VERSION + 1
+        )
+        assert config_digest(config) != base
+
+    def test_digest_is_stable_across_calls(self, config):
+        assert config_digest(config) == config_digest(
+            dataclasses.replace(config)
+        )
+
+
+class TestCacheCorruptionTolerance:
+    def _prime(self, config, tmp_path) -> Archive:
+        archive = make_archive(config)
+        store_cached(config, archive, tmp_path)
+        return archive
+
+    def test_truncated_entry_regenerated(self, config, tmp_path):
+        archive = self._prime(config, tmp_path)
+        path = cache_path(config, tmp_path)
+        path.write_bytes(path.read_bytes()[: 100])
+        assert load_cached(config, tmp_path) is None
+        again = cached_make_archive(config, directory=tmp_path)
+        assert _archive_state(again) == _archive_state(archive)
+
+    def test_garbage_entry_regenerated(self, config, tmp_path):
+        self._prime(config, tmp_path)
+        cache_path(config, tmp_path).write_bytes(b"not a pickle at all")
+        assert load_cached(config, tmp_path) is None
+        assert cached_make_archive(config, directory=tmp_path) is not None
+
+    def test_foreign_pickle_rejected(self, config, tmp_path):
+        self._prime(config, tmp_path)
+        with open(cache_path(config, tmp_path), "wb") as fh:
+            pickle.dump({"magic": "something-else"}, fh)
+        assert load_cached(config, tmp_path) is None
+
+    def test_wrong_digest_rejected(self, config, tmp_path):
+        """An entry renamed to the wrong key must not be served."""
+        other = dataclasses.replace(config, seed=config.seed + 1)
+        self._prime(config, tmp_path)
+        os.replace(
+            cache_path(config, tmp_path), cache_path(other, tmp_path)
+        )
+        assert load_cached(other, tmp_path) is None
+
+    def test_bad_entry_is_discarded_on_load(self, config, tmp_path):
+        self._prime(config, tmp_path)
+        path = cache_path(config, tmp_path)
+        path.write_bytes(b"junk")
+        load_cached(config, tmp_path)
+        assert not path.exists()
