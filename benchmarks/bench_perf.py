@@ -14,7 +14,12 @@ how *fast* the pipeline is, writing the measurements to
   archive cache, the path repeat benchmark runs take;
 * **analysis** -- one representative window analysis (the Section
   III-A.3 pairwise matrix over group-1), first on cold per-category
-  event indices, then warm.
+  event indices, then warm;
+* **report** -- the full combined report four ways: per-cell (analysis
+  cache disabled, the pre-batching code path), cold (batched kernels,
+  empty cache), warm (fully memoized) and parallel (section pool).
+  All four texts are asserted byte-identical before timings are
+  recorded.
 
 Run from the repository root::
 
@@ -40,7 +45,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from repro.core.cache import cache_disabled
 from repro.core.correlations import pairwise_matrix
+from repro.core.report import full_report
 from repro.records.dataset import HardwareGroup
 from repro.records.timeutil import Span
 from repro.simulate.archive import make_archive
@@ -102,8 +109,44 @@ def run(args: argparse.Namespace) -> dict:
             repeats=args.load_repeats,
         )
         assert cached is not None, "cache round-trip failed"
-    print(f"cache store:              {timings['cache_store_s']:8.2f} s")
-    print(f"warm cache load:          {timings['warm_load_s']:8.2f} s")
+        print(f"cache store:              {timings['cache_store_s']:8.2f} s")
+        print(f"warm cache load:          {timings['warm_load_s']:8.2f} s")
+
+        def fresh_archive():
+            # Each report timing starts from a freshly loaded archive so
+            # no analysis cache (or materialized column) leaks between
+            # variants; only the warm timing reuses an instance.
+            loaded = load_cached(config, cache_dir)
+            assert loaded is not None, "cache round-trip failed"
+            return loaded
+
+        percell_archive = fresh_archive()
+        with cache_disabled():
+            timings["report_percell_s"], percell_text = _timed(
+                lambda: full_report(percell_archive)
+            )
+        cold_archive = fresh_archive()
+        timings["report_cold_s"], cold_text = _timed(
+            lambda: full_report(cold_archive)
+        )
+        timings["report_warm_s"], warm_text = _timed(
+            lambda: full_report(cold_archive)
+        )
+        parallel_archive = fresh_archive()
+        report_workers = max(workers, 2)
+        timings["report_parallel_s"], parallel_text = _timed(
+            lambda: full_report(parallel_archive, workers=report_workers)
+        )
+        assert percell_text == cold_text == warm_text == parallel_text, (
+            "full_report output differs between cache/parallel variants"
+        )
+    print(f"report per-cell:          {timings['report_percell_s']:8.2f} s")
+    print(f"report cold cache:        {timings['report_cold_s']:8.2f} s")
+    print(f"report warm cache:        {timings['report_warm_s']:8.2f} s")
+    print(
+        f"report parallel ({report_workers} workers): "
+        f"{timings['report_parallel_s']:5.2f} s"
+    )
 
     group1 = archive.group(HardwareGroup.GROUP1)
     timings["analysis_cold_s"], _ = _timed(
@@ -123,12 +166,20 @@ def run(args: argparse.Namespace) -> dict:
         "warm_vs_cold_speedup": cold_best / max(timings["warm_load_s"], 1e-9),
         "analysis_warm_vs_cold_speedup": timings["analysis_cold_s"]
         / max(timings["analysis_warm_s"], 1e-9),
+        "report_cold_vs_percell_speedup": timings["report_percell_s"]
+        / max(timings["report_cold_s"], 1e-9),
+        "report_warm_vs_percell_speedup": timings["report_percell_s"]
+        / max(timings["report_warm_s"], 1e-9),
     }
     if "cold_parallel_s" in timings:
         derived["parallel_vs_serial_speedup"] = (
             timings["cold_serial_s"] / timings["cold_parallel_s"]
         )
     print(f"warm vs cold speedup:     {derived['warm_vs_cold_speedup']:8.1f}x")
+    print(
+        f"report warm vs per-cell:  "
+        f"{derived['report_warm_vs_percell_speedup']:8.1f}x"
+    )
 
     return {
         "smoke": args.smoke,

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fail CI when the memoized report path regresses against the baseline.
+
+Compares a fresh ``bench_perf.py --smoke`` measurement against the
+committed smoke baseline (``BENCH_PERF_SMOKE.json``).  The guarded
+number is ``report_warm_s`` -- the fully memoized ``full_report`` run,
+the headline win of the analysis-cache work -- which must stay within
+``--factor`` (default 2x) of the baseline.  A small absolute slack
+absorbs timer noise on very fast runs so sub-100ms jitter cannot flap
+the build.
+
+Run from the repository root::
+
+    python benchmarks/bench_perf.py --smoke -o /tmp/bench_smoke.json
+    python benchmarks/check_perf_regression.py /tmp/bench_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Timings guarded against regression (all from the smoke configuration).
+GUARDED = ("report_warm_s",)
+
+
+def check(
+    current: dict, baseline: dict, factor: float, slack_s: float
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    problems = []
+    if current.get("config") != baseline.get("config"):
+        problems.append(
+            f"config mismatch: current {current.get('config')} vs "
+            f"baseline {baseline.get('config')} -- regenerate the baseline"
+        )
+        return problems
+    for key in GUARDED:
+        base = baseline["timings_s"].get(key)
+        cur = current["timings_s"].get(key)
+        if base is None or cur is None:
+            problems.append(f"{key}: missing from {'baseline' if base is None else 'current run'}")
+            continue
+        limit = base * factor + slack_s
+        if cur > limit:
+            problems.append(
+                f"{key}: {cur:.4f}s exceeds {limit:.4f}s "
+                f"(baseline {base:.4f}s x {factor:g} + {slack_s:g}s slack)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current", type=Path, help="JSON written by a fresh bench_perf.py run"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_PERF_SMOKE.json",
+        help="committed baseline JSON (default: repo root smoke baseline)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum allowed slowdown factor vs the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.05,
+        help="absolute slack in seconds added to every limit (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    problems = check(current, baseline, args.factor, args.slack)
+    if problems:
+        for p in problems:
+            print(f"PERF REGRESSION: {p}", file=sys.stderr)
+        return 1
+    for key in GUARDED:
+        print(
+            f"{key}: {current['timings_s'][key]:.4f}s "
+            f"(baseline {baseline['timings_s'][key]:.4f}s) OK"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ Quickstart::
     print(full_report(archive))
 """
 
-from .core.report import full_report
+from .core.cache import cache_disabled, cache_stats, get_cache
+from .core.report import full_report, profiled_full_report
 from .records.dataset import Archive, HardwareGroup, SystemDataset
 from .records.io import load_archive, save_archive
 from .records.taxonomy import Category
@@ -40,9 +41,13 @@ __all__ = [
     "Span",
     "SystemDataset",
     "__version__",
+    "cache_disabled",
+    "cache_stats",
     "full_report",
+    "get_cache",
     "load_archive",
     "make_archive",
+    "profiled_full_report",
     "quick_archive",
     "save_archive",
     "small_config",

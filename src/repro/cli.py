@@ -92,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="run every analysis and print the report")
     _add_archive_arg(p)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "render up to N report sections concurrently (default serial; "
+            "output is identical at any worker count)"
+        ),
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-section wall time and analysis-cache hit counts "
+            "to stderr after the report"
+        ),
+    )
 
     p = sub.add_parser("section", help="run one paper section's analysis")
     _add_archive_arg(p)
@@ -160,7 +177,16 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         return 0 if report.ok else 1
     if args.command == "report":
-        print(full_report(_load(args.archive)))
+        if args.profile:
+            from .core.report import profiled_full_report
+
+            text, profile = profiled_full_report(
+                _load(args.archive), workers=args.workers
+            )
+            print(text)
+            print(profile.render(), file=sys.stderr)
+        else:
+            print(full_report(_load(args.archive), workers=args.workers))
         return 0
     if args.command == "section":
         print(_SECTIONS[args.name](_load(args.archive)))

@@ -27,8 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from ..records.dataset import SystemDataset
 from ..records.taxonomy import (
     Category,
@@ -37,29 +35,21 @@ from ..records.taxonomy import (
     all_categories,
 )
 from ..records.timeutil import Span
+from .cache import (
+    fail_kind,
+    pooled_baseline_grid as _pooled_baseline_grid,
+    pooled_conditional_grid as _pooled_conditional_grid,
+    split_kind,
+)
 from .windows import (
     Counts,
     Scope,
-    WindowAnalysisError,
     WindowComparison,
-    ZERO_COUNTS,
-    baseline_counts,
     compare,
-    conditional_counts,
 )
 
-
-def _rack_mapping(ds: SystemDataset) -> np.ndarray | None:
-    return ds.rack_of
-
-
-def _events(
-    ds: SystemDataset,
-    category: Category | None = None,
-    subtype: Subtype | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
-    idx = ds.failure_table.events(category=category, subtype=subtype)
-    return idx.times, idx.nodes
+#: The any-failure event kind (no category or subtype filter).
+_ANY = fail_kind()
 
 
 def pooled_baseline(
@@ -69,13 +59,8 @@ def pooled_baseline(
     subtype: Subtype | None = None,
 ) -> Counts:
     """Baseline counts pooled over systems: 'a random node, random window'."""
-    if not systems:
-        raise WindowAnalysisError("need at least one system")
-    total = ZERO_COUNTS
-    for ds in systems:
-        t, n = _events(ds, category, subtype)
-        total = total + baseline_counts(t, n, ds.num_nodes, ds.period, span)
-    return total
+    kind = fail_kind(category=category, subtype=subtype)
+    return _pooled_baseline_grid(systems, [kind], [span])[0][0]
 
 
 def pooled_conditional(
@@ -93,28 +78,11 @@ def pooled_conditional(
     only run the rack analysis on group-1 systems, which have machine
     layout files).
     """
-    if not systems:
-        raise WindowAnalysisError("need at least one system")
-    total = ZERO_COUNTS
-    for ds in systems:
-        rack_of = _rack_mapping(ds) if scope is Scope.RACK else None
-        if scope is Scope.RACK and rack_of is None:
-            continue
-        trig_idx = ds.failure_table.events(trigger_category, trigger_subtype)
-        targ_idx = ds.failure_table.events(target_category, target_subtype)
-        total = total + conditional_counts(
-            trig_idx.times,
-            trig_idx.nodes,
-            targ_idx.times,
-            targ_idx.nodes,
-            ds.period,
-            span,
-            scope=scope,
-            rack_of=rack_of,
-            num_nodes=ds.num_nodes,
-            target_index=targ_idx,
-        )
-    return total
+    trigger = fail_kind(category=trigger_category, subtype=trigger_subtype)
+    target = fail_kind(category=target_category, subtype=target_subtype)
+    return _pooled_conditional_grid(
+        systems, [trigger], [target], [span], scope
+    )[0][0][0]
 
 
 @dataclass(frozen=True, slots=True)
@@ -148,12 +116,29 @@ def same_node_by_trigger(
     Returns one entry per trigger category, each against the common
     any-failure baseline.
     """
+    return _by_trigger(systems, span, triggers, Scope.NODE)
+
+
+def _by_trigger(
+    systems: Sequence[SystemDataset],
+    span: Span,
+    triggers: Sequence[Category] | None,
+    scope: Scope,
+) -> list[TriggerResult]:
+    """Shared Figure 1(a)/2(a)/3 engine: one batched row per trigger."""
+    trigger_list = list(triggers if triggers is not None else all_categories())
     base = pooled_baseline(systems, span)
-    out = []
-    for trig in triggers or all_categories():
-        cond = pooled_conditional(systems, span, trigger_category=trig)
-        out.append(TriggerResult(trig, compare(cond, base, span)))
-    return out
+    grid = _pooled_conditional_grid(
+        systems,
+        [fail_kind(category=trig) for trig in trigger_list],
+        [_ANY],
+        [span],
+        scope,
+    )
+    return [
+        TriggerResult(trig, compare(grid[i][0][0], base, span))
+        for i, trig in enumerate(trigger_list)
+    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -197,32 +182,23 @@ def same_node_by_target(
             HardwareSubtype.MEMORY,
             HardwareSubtype.CPU,
         ]
+    target_list = list(targets)
+    kinds = [split_kind(target) for target in target_list]
+    bases = _pooled_baseline_grid(systems, kinds, [span])
+    # One ANY-trigger row covers every after-any cell; the after-same
+    # cells are the grid diagonal, queried one row at a time so only the
+    # diagonal is computed.
+    any_grid = _pooled_conditional_grid(systems, [_ANY], kinds, [span], scope)
     out = []
-    for target in targets:
-        t_cat = target if isinstance(target, Category) else None
-        t_sub = None if isinstance(target, Category) else target
-        base = pooled_baseline(systems, span, category=t_cat, subtype=t_sub)
-        after_any = pooled_conditional(
-            systems,
-            span,
-            target_category=t_cat,
-            target_subtype=t_sub,
-            scope=scope,
-        )
-        after_same = pooled_conditional(
-            systems,
-            span,
-            trigger_category=t_cat,
-            trigger_subtype=t_sub,
-            target_category=t_cat,
-            target_subtype=t_sub,
-            scope=scope,
-        )
+    for j, target in enumerate(target_list):
+        after_same = _pooled_conditional_grid(
+            systems, [kinds[j]], [kinds[j]], [span], scope
+        )[0][0][0]
         out.append(
             TargetResult(
                 target=target,
-                after_any=compare(after_any, base, span),
-                after_same=compare(after_same, base, span),
+                after_any=compare(any_grid[0][j][0], bases[j][0], span),
+                after_same=compare(after_same, bases[j][0], span),
             )
         )
     return out
@@ -247,19 +223,17 @@ def pairwise_matrix(
     Each cell compares against the type-Y random-window baseline.  The
     paper uses this to spot the ENV/NET/SW cross-correlation triangle.
     """
+    categories = list(all_categories())
+    kinds = [fail_kind(category=cat) for cat in categories]
+    bases = _pooled_baseline_grid(systems, kinds, [span])
+    grid = _pooled_conditional_grid(systems, kinds, kinds, [span], scope)
     cells = []
-    for target in all_categories():
-        base = pooled_baseline(systems, span, category=target)
-        for trigger in all_categories():
-            cond = pooled_conditional(
-                systems,
-                span,
-                trigger_category=trigger,
-                target_category=target,
-                scope=scope,
-            )
+    for j, target in enumerate(categories):
+        for i, trigger in enumerate(categories):
             cells.append(
-                PairwiseCell(trigger, target, compare(cond, base, span))
+                PairwiseCell(
+                    trigger, target, compare(grid[i][j][0], bases[j][0], span)
+                )
             )
     return cells
 
@@ -299,14 +273,7 @@ def same_rack_by_trigger(
     systems: Sequence[SystemDataset], span: Span = Span.WEEK
 ) -> list[TriggerResult]:
     """Figure 2(a): rack-scope follow-up probability by trigger type."""
-    base = pooled_baseline(systems, span)
-    out = []
-    for trig in all_categories():
-        cond = pooled_conditional(
-            systems, span, trigger_category=trig, scope=Scope.RACK
-        )
-        out.append(TriggerResult(trig, compare(cond, base, span)))
-    return out
+    return _by_trigger(systems, span, None, Scope.RACK)
 
 
 def same_rack_by_target(
@@ -338,11 +305,4 @@ def same_system_by_trigger(
     raise follow-up probability in group-1; network dominates group-2
     (3.69X).
     """
-    base = pooled_baseline(systems, span)
-    out = []
-    for trig in all_categories():
-        cond = pooled_conditional(
-            systems, span, trigger_category=trig, scope=Scope.SYSTEM
-        )
-        out.append(TriggerResult(trig, compare(cond, base, span)))
-    return out
+    return _by_trigger(systems, span, None, Scope.SYSTEM)

@@ -34,7 +34,8 @@ from ..stats.contingency import (
     grouping_permutation_test,
 )
 from ..stats.proportion import TwoSampleResult, two_sample_z_test
-from .windows import Counts, baseline_counts, compare, WindowComparison
+from .cache import get_cache, split_kind
+from .windows import Counts, compare, WindowComparison
 
 
 class NodeAnalysisError(ValueError):
@@ -196,29 +197,31 @@ def prone_type_probabilities(
         prone_node = failures_per_node(ds).prone_node
     if kinds is None:
         kinds = list(all_categories())
-    table = ds.failure_table
     rest_nodes = np.array(
         [n for n in range(ds.num_nodes) if n != prone_node], dtype=np.int64
     )
     if rest_nodes.size == 0:
         raise NodeAnalysisError("need at least two nodes to compare")
+    cache = get_cache(ds)
+    kind_keys = [split_kind(kind) for kind in kinds]
+    span_list = list(spans)
+    prone_grid = cache.baseline_grid(
+        kind_keys,
+        span_list,
+        node_subset=np.array([prone_node]),
+        subset_key=("prone", prone_node),
+    )
+    rest_grid = cache.baseline_grid(
+        kind_keys,
+        span_list,
+        node_subset=rest_nodes,
+        subset_key=("rest", prone_node),
+    )
     cells = []
-    for kind in kinds:
-        cat = kind if isinstance(kind, Category) else None
-        sub = None if isinstance(kind, Category) else kind
-        times, nodes = table.select(category=cat, subtype=sub)
-        for span in spans:
-            prone_counts = baseline_counts(
-                times,
-                nodes,
-                ds.num_nodes,
-                ds.period,
-                span,
-                node_subset=np.array([prone_node]),
-            )
-            rest_counts = baseline_counts(
-                times, nodes, ds.num_nodes, ds.period, span, node_subset=rest_nodes
-            )
+    for i, kind in enumerate(kinds):
+        for k, span in enumerate(span_list):
+            prone_counts = prone_grid[i][k]
+            rest_counts = rest_grid[i][k]
             p_prone = prone_counts.estimate().value
             p_rest = rest_counts.estimate().value
             factor = p_prone / p_rest if p_rest > 0 else float("nan")

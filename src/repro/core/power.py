@@ -31,14 +31,17 @@ from ..records.taxonomy import (
     Subtype,
 )
 from ..records.timeutil import ALL_SPANS, Span
+from .cache import (
+    fail_kind,
+    maint_kind,
+    pooled_baseline_grid,
+    pooled_conditional_grid,
+    split_kind,
+)
 from .windows import (
-    Counts,
     Scope,
     WindowComparison,
-    ZERO_COUNTS,
-    baseline_counts,
     compare,
-    conditional_counts,
 )
 
 
@@ -116,36 +119,31 @@ def _impact_cells(
     targets: Sequence[Category | Subtype],
     spans: Sequence[Span],
 ) -> list[PowerImpactCell]:
-    """Shared engine for Figures 10, 11 and 13: subtype-triggered impacts."""
+    """Shared engine for Figures 10, 11 and 13: subtype-triggered impacts.
+
+    One batched grid pass computes every ``trigger x target x span``
+    cell; each trigger stream is censored and grouped once per system
+    and reused for all targets and spans.
+    """
     if not systems:
         raise PowerAnalysisError("need at least one system")
+    trigger_kinds = [fail_kind(subtype=trig) for trig in triggers]
+    target_kinds = [split_kind(target) for target in targets]
+    span_list = list(spans)
+    bases = pooled_baseline_grid(systems, target_kinds, span_list)
+    grid = pooled_conditional_grid(
+        systems, trigger_kinds, target_kinds, span_list, Scope.NODE
+    )
     cells = []
-    for target in targets:
-        t_cat = target if isinstance(target, Category) else None
-        t_sub = None if isinstance(target, Category) else target
-        for span in spans:
-            base = ZERO_COUNTS
-            for ds in systems:
-                tt, tn = ds.failure_table.select(category=t_cat, subtype=t_sub)
-                base = base + baseline_counts(
-                    tt, tn, ds.num_nodes, ds.period, span
-                )
-            for trig in triggers:
-                cond = ZERO_COUNTS
-                for ds in systems:
-                    gt, gn = ds.failure_table.select(subtype=trig)
-                    tt, tn = ds.failure_table.select(
-                        category=t_cat, subtype=t_sub
-                    )
-                    cond = cond + conditional_counts(
-                        gt, gn, tt, tn, ds.period, span, scope=Scope.NODE
-                    )
+    for j, target in enumerate(targets):
+        for k, span in enumerate(span_list):
+            for i, trig in enumerate(triggers):
                 cells.append(
                     PowerImpactCell(
                         trigger=trig,
                         target=target,
                         span=span,
-                        comparison=compare(cond, base, span),
+                        comparison=compare(grid[i][j][k], bases[j][k], span),
                     )
                 )
     return cells
@@ -235,37 +233,23 @@ def maintenance_impact(
     """
     if not systems:
         raise PowerAnalysisError("need at least one system")
-
-    def maintenance_events(ds: SystemDataset) -> tuple[np.ndarray, np.ndarray]:
-        events = [
-            m
-            for m in ds.maintenance
-            if (m.hardware_related or not hardware_only)
-            and ds.period.contains(m.time)
-        ]
-        times = np.array([m.time for m in events], dtype=float)
-        nodes = np.array([m.node_id for m in events], dtype=np.int64)
-        return times, nodes
-
-    base = ZERO_COUNTS
-    for ds in systems:
-        mt, mn = maintenance_events(ds)
-        base = base + baseline_counts(mt, mn, ds.num_nodes, ds.period, span)
-    cells = []
-    for trig in POWER_TRIGGERS:
-        cond = ZERO_COUNTS
-        for ds in systems:
-            gt, gn = ds.failure_table.select(subtype=trig)
-            mt, mn = maintenance_events(ds)
-            cond = cond + conditional_counts(
-                gt, gn, mt, mn, ds.period, span, scope=Scope.NODE
-            )
-        cells.append(
-            MaintenanceImpactCell(
-                trigger=trig, span=span, comparison=compare(cond, base, span)
-            )
+    maintenance = maint_kind(hardware_only)
+    base = pooled_baseline_grid(systems, [maintenance], [span])[0][0]
+    grid = pooled_conditional_grid(
+        systems,
+        [fail_kind(subtype=trig) for trig in POWER_TRIGGERS],
+        [maintenance],
+        [span],
+        Scope.NODE,
+    )
+    return [
+        MaintenanceImpactCell(
+            trigger=trig,
+            span=span,
+            comparison=compare(grid[i][0][0], base, span),
         )
-    return cells
+        for i, trig in enumerate(POWER_TRIGGERS)
+    ]
 
 
 @dataclass(frozen=True, slots=True)

@@ -19,9 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..records.environment import summarize_temperatures
-from ..records.usage import node_usage_summaries
 from ..stats.glm import Coefficient, GLMResult, fit_negative_binomial, fit_poisson
+from .cache import get_cache
 
 
 class RegressionAnalysisError(ValueError):
@@ -107,8 +106,9 @@ def build_design_matrix(ds: SystemDataset) -> DesignMatrix:
         raise RegressionAnalysisError(
             f"system {ds.system_id} has no machine layout (PIR missing)"
         )
-    temps = summarize_temperatures(ds.temperatures, ds.num_nodes)
-    usage = node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)
+    cache = get_cache(ds)
+    temps = cache.temperature_summaries()
+    usage = cache.node_usage()
     failures = ds.failure_counts_per_node()
     rows = []
     node_ids = []

@@ -10,6 +10,9 @@ the systems that support it.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..records.dataset import Archive, HardwareGroup, SystemDataset
@@ -17,6 +20,7 @@ from ..records.taxonomy import Category, format_label
 from ..records.timeutil import Span
 from ..stats.glm import GLMError
 from . import correlations, cosmic, downtime, interarrival, lifecycle, nodes, power, temperature, users, usage
+from .cache import cache_stats
 from .regression import (
     RegressionAnalysisError,
     fit_joint_regression,
@@ -352,21 +356,120 @@ def render_lifecycle(archive: Archive, max_systems: int = 3) -> str:
     return "\n".join(lines)
 
 
-def full_report(archive: Archive, fig4_systems: Sequence[int] = (18, 19, 20)) -> str:
-    """Run every section and render one combined report."""
-    sections: list[str] = []
-    renderers: list[Callable[[], str]] = [
-        lambda: render_correlations(archive),
-        lambda: render_nodes(archive, fig4_systems),
-        lambda: render_usage(archive),
-        lambda: render_power(archive),
-        lambda: render_temperature(archive),
-        lambda: render_cosmic(archive),
-        lambda: render_regression(archive),
-        lambda: render_interarrival(archive),
-        lambda: render_downtime(archive),
-        lambda: render_lifecycle(archive),
-    ]
-    for render in renderers:
-        sections.append(render())
-    return "\n\n".join(sections)
+#: Report sections in output order: ``(name, renderer)``.  Every
+#: renderer is independent of the others, so they can run concurrently;
+#: the combined report always joins them in this order.
+REPORT_SECTIONS: tuple[
+    tuple[str, Callable[[Archive, Sequence[int]], str]], ...
+] = (
+    ("correlations", lambda archive, fig4: render_correlations(archive)),
+    ("nodes", lambda archive, fig4: render_nodes(archive, fig4)),
+    ("usage", lambda archive, fig4: render_usage(archive)),
+    ("power", lambda archive, fig4: render_power(archive)),
+    ("temperature", lambda archive, fig4: render_temperature(archive)),
+    ("cosmic", lambda archive, fig4: render_cosmic(archive)),
+    ("regression", lambda archive, fig4: render_regression(archive)),
+    ("interarrival", lambda archive, fig4: render_interarrival(archive)),
+    ("downtime", lambda archive, fig4: render_downtime(archive)),
+    ("lifecycle", lambda archive, fig4: render_lifecycle(archive)),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ReportProfile:
+    """Where a :func:`full_report` run spent its time.
+
+    Attributes:
+        section_seconds: per-section wall time, in output order.  Under
+            ``workers > 1`` the sections overlap, so these sum to more
+            than ``total_seconds``.
+        total_seconds: wall time of the whole report.
+        workers: worker count the report ran with (1 = serial).
+        cache_hits: analysis-cache hits during this run (pooled over
+            the archive's systems).
+        cache_misses: analysis-cache misses during this run.
+        cache_entries: memoized values held after the run.
+    """
+
+    section_seconds: tuple[tuple[str, float], ...]
+    total_seconds: float
+    workers: int
+    cache_hits: int
+    cache_misses: int
+    cache_entries: int
+
+    def render(self) -> str:
+        """Human-readable profile table (the ``--profile`` output)."""
+        lines = [f"report profile (workers={self.workers}):"]
+        for name, seconds in self.section_seconds:
+            lines.append(f"  {name:<14s} {seconds:8.3f}s")
+        lines.append(f"  {'total':<14s} {self.total_seconds:8.3f}s")
+        lines.append(
+            f"analysis cache: {self.cache_hits} hits, "
+            f"{self.cache_misses} misses, {self.cache_entries} entries"
+        )
+        return "\n".join(lines)
+
+
+def _run_report(
+    archive: Archive, fig4_systems: Sequence[int], workers: int | None
+) -> tuple[str, ReportProfile]:
+    n_workers = max(1, int(workers) if workers else 1)
+    hits0, misses0, _ = cache_stats(archive)
+    started = time.perf_counter()
+
+    def timed_section(
+        entry: tuple[str, Callable[[Archive, Sequence[int]], str]]
+    ) -> tuple[str, float]:
+        name, render = entry
+        t0 = time.perf_counter()
+        text = render(archive, fig4_systems)
+        return text, time.perf_counter() - t0
+
+    if n_workers == 1:
+        results = [timed_section(entry) for entry in REPORT_SECTIONS]
+    else:
+        # executor.map yields in submission order, so the combined text
+        # is identical to the serial run no matter how sections overlap.
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(timed_section, REPORT_SECTIONS))
+    total = time.perf_counter() - started
+    hits1, misses1, entries = cache_stats(archive)
+    profile = ReportProfile(
+        section_seconds=tuple(
+            (name, seconds)
+            for (name, _), (_, seconds) in zip(REPORT_SECTIONS, results)
+        ),
+        total_seconds=total,
+        workers=n_workers,
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+        cache_entries=entries,
+    )
+    return "\n\n".join(text for text, _ in results), profile
+
+
+def full_report(
+    archive: Archive,
+    fig4_systems: Sequence[int] = (18, 19, 20),
+    workers: int | None = None,
+) -> str:
+    """Run every section and render one combined report.
+
+    Args:
+        archive: the archive to analyse.
+        fig4_systems: systems to run the Section IV per-node analysis on.
+        workers: render up to this many sections concurrently (None or 1
+            = serial).  The output text is identical at any setting.
+    """
+    text, _ = _run_report(archive, fig4_systems, workers)
+    return text
+
+
+def profiled_full_report(
+    archive: Archive,
+    fig4_systems: Sequence[int] = (18, 19, 20),
+    workers: int | None = None,
+) -> tuple[str, ReportProfile]:
+    """:func:`full_report` plus a :class:`ReportProfile` of the run."""
+    return _run_report(archive, fig4_systems, workers)

@@ -22,7 +22,6 @@ from typing import Sequence
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..records.environment import summarize_temperatures
 from ..records.taxonomy import (
     Category,
     EnvironmentSubtype,
@@ -31,6 +30,7 @@ from ..records.taxonomy import (
 )
 from ..records.timeutil import ALL_SPANS, Span
 from ..stats.glm import GLMResult, fit_negative_binomial, fit_poisson
+from .cache import get_cache
 from .power import PowerImpactCell, _impact_cells
 
 
@@ -113,7 +113,7 @@ def _temperature_design(
     ds: SystemDataset,
 ) -> tuple[np.ndarray, np.ndarray, list[int]]:
     """Per-node (avg, max, var) design matrix; drops unsampled nodes."""
-    summaries = summarize_temperatures(ds.temperatures, ds.num_nodes)
+    summaries = get_cache(ds).temperature_summaries()
     rows = []
     kept_nodes = []
     for s in summaries:

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..records.usage import NodeUsage, node_usage_summaries
+from ..records.usage import NodeUsage
 from ..stats.correlation import CorrelationError, CorrelationResult, pearson, spearman
+from .cache import get_cache
 
 
 class UsageAnalysisError(ValueError):
@@ -76,7 +77,7 @@ def usage_failure_correlation(ds: SystemDataset) -> UsageCorrelationResult:
         raise UsageAnalysisError(
             f"system {ds.system_id} has no job log; Section V needs one"
         )
-    summaries = node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)
+    summaries = get_cache(ds).node_usage()
     failures = ds.failure_counts_per_node().astype(float)
     utilization = np.array([s.utilization for s in summaries])
     num_jobs = np.array([s.num_jobs for s in summaries], dtype=float)
@@ -111,4 +112,4 @@ def node_usage(ds: SystemDataset) -> list[NodeUsage]:
         raise UsageAnalysisError(
             f"system {ds.system_id} has no job log; cannot summarize usage"
         )
-    return node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)
+    return get_cache(ds).node_usage()

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..records.usage import UserUsage, heaviest_users
+from ..records.usage import UsageError, UserUsage
 from ..stats.anova import AnovaResult, saturated_vs_common_rate
+from .cache import get_cache
 
 
 class UserAnalysisError(ValueError):
@@ -66,8 +67,11 @@ def user_failure_rates(ds: SystemDataset, top_k: int = 50) -> UserFailureResult:
         raise UserAnalysisError(
             f"system {ds.system_id} has no job log; Section VI needs one"
         )
-    total_users = len({j.user_id for j in ds.jobs})
-    users = tuple(heaviest_users(ds.jobs, k=top_k))
+    if top_k < 1:
+        raise UsageError(f"k must be >= 1, got {top_k}")
+    summaries = get_cache(ds).user_usage()
+    total_users = len(summaries)
+    users = tuple(summaries[:top_k])
     usable = [u for u in users if u.processor_days > 0]
     if len(usable) < 2:
         raise UserAnalysisError(

@@ -27,7 +27,9 @@ or subtype) and maintenance events.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -160,16 +162,17 @@ def baseline_counts(
 
 
 def conditional_counts(
-    trigger_times: np.ndarray,
-    trigger_nodes: np.ndarray,
-    target_times: np.ndarray,
-    target_nodes: np.ndarray,
-    period: ObservationPeriod,
-    span: Span,
+    trigger_times: np.ndarray | None = None,
+    trigger_nodes: np.ndarray | None = None,
+    target_times: np.ndarray | None = None,
+    target_nodes: np.ndarray | None = None,
+    period: ObservationPeriod | None = None,
+    span: Span | None = None,
     scope: Scope = Scope.NODE,
     rack_of: np.ndarray | None = None,
     num_nodes: int | None = None,
     target_index: EventIndex | None = None,
+    trigger_index: EventIndex | None = None,
 ) -> Counts:
     """Conditional counts at node, rack or system scope.
 
@@ -204,12 +207,44 @@ def conditional_counts(
         rack_of: node -> rack id mapping, required for RACK scope.
         num_nodes: system node count, required for RACK/SYSTEM scope.
         target_index: pre-built index of the target stream (e.g. from
-            :meth:`repro.records.dataset.FailureTable.events`).  When
-            given, ``target_times`` / ``target_nodes`` are ignored and
-            the cached per-node grouping is reused across calls.
+            :meth:`repro.records.dataset.FailureTable.events`).  This is
+            the preferred, index-first spelling; passing the redundant
+            ``target_times`` / ``target_nodes`` arrays alongside it is
+            deprecated (they were silently ignored in older releases).
+        trigger_index: pre-built index of the trigger stream; preferred
+            over ``trigger_times`` / ``trigger_nodes`` for the same
+            reason.
     """
-    trig_t, trig_n = _check_events(trigger_times, trigger_nodes)
-    if target_index is None:
+    if period is None or span is None:
+        raise WindowAnalysisError("period and span are required")
+    if trigger_index is not None:
+        if trigger_times is not None or trigger_nodes is not None:
+            warnings.warn(
+                "trigger_times/trigger_nodes are ignored when trigger_index "
+                "is given; pass only trigger_index",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        trig_t, trig_n = trigger_index.times, trigger_index.nodes
+    else:
+        if trigger_times is None or trigger_nodes is None:
+            raise WindowAnalysisError(
+                "need trigger_times/trigger_nodes or a trigger_index"
+            )
+        trig_t, trig_n = _check_events(trigger_times, trigger_nodes)
+    if target_index is not None:
+        if target_times is not None or target_nodes is not None:
+            warnings.warn(
+                "target_times/target_nodes are ignored when target_index "
+                "is given; pass only target_index",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    else:
+        if target_times is None or target_nodes is None:
+            raise WindowAnalysisError(
+                "need target_times/target_nodes or a target_index"
+            )
         target_index = EventIndex(*_check_events(target_times, target_nodes))
 
     # Censor triggers without a complete follow-up window.
@@ -298,6 +333,261 @@ def _per_node_window_counts(
         hi = np.searchsorted(block, starts + span.days, side="right")
         counts[sel] = hi - lo
     return counts
+
+
+class _TriggerPlan:
+    """Censoring, node grouping and rack grouping of one trigger stream.
+
+    Built once per trigger :class:`EventIndex` and reused for every
+    (target, span) cell of a batched grid.  Because trigger times are
+    sorted and window censoring (``t + span.days <= period.end``) is
+    monotone in ``t``, the censored trigger set for any span is a prefix
+    of the time-sorted stream -- per-span work reduces to a prefix count
+    instead of a fresh mask-and-copy.
+    """
+
+    __slots__ = (
+        "times",
+        "nodes",
+        "span_days",
+        "n_alive",
+        "node_groups",
+        "rack_order",
+        "rack_starts",
+        "rack_trials_cumsum",
+    )
+
+    def __init__(
+        self,
+        trigger: EventIndex,
+        period: ObservationPeriod,
+        spans: Sequence[Span],
+        rack_of: np.ndarray | None,
+        rack_sizes: np.ndarray | None,
+    ) -> None:
+        t = trigger.times
+        n = trigger.nodes
+        self.times = t
+        self.nodes = n
+        self.span_days = [span.days for span in spans]
+        # The same elementwise predicate as the per-cell kernel (NOT the
+        # rearranged ``t <= end - days``, which differs in float).
+        self.n_alive = [
+            int(np.count_nonzero(t + days <= period.end))
+            for days in self.span_days
+        ]
+        # Group triggers by node once; shared by every target's own-node
+        # window queries.
+        if t.size:
+            order = np.argsort(n, kind="stable")
+            grouped = n[order]
+            bounds = np.flatnonzero(np.diff(grouped)) + 1
+            self.node_groups = np.split(order, bounds)
+        else:
+            self.node_groups = []
+        self.rack_order = None
+        self.rack_starts = None
+        self.rack_trials_cumsum = None
+        if rack_sizes is not None:
+            trig_racks = n if not t.size else rack_of[n]
+            self.rack_order = np.argsort(trig_racks, kind="stable")
+            n_racks = int(rack_sizes.size)
+            self.rack_starts = np.zeros(n_racks + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(trig_racks, minlength=n_racks),
+                out=self.rack_starts[1:],
+            )
+            self.rack_trials_cumsum = np.zeros(t.size + 1, dtype=np.int64)
+            np.cumsum(rack_sizes[trig_racks] - 1, out=self.rack_trials_cumsum[1:])
+
+    def own_hit_counts(self, target: EventIndex) -> list[int]:
+        """Per-span number of censored triggers whose own node has a hit.
+
+        One ``lo`` searchsorted per trigger-node block is shared by all
+        spans; only the ``hi`` side is span-dependent.
+        """
+        n_spans = len(self.span_days)
+        if len(target) == 0 or not self.node_groups:
+            return [0] * n_spans
+        hits = [np.zeros(self.times.size, dtype=bool) for _ in range(n_spans)]
+        for sel in self.node_groups:
+            block = target.node_block(int(self.nodes[sel[0]]))
+            if block.size == 0:
+                continue
+            starts = self.times[sel]
+            lo = np.searchsorted(block, starts, side="right")
+            for k, days in enumerate(self.span_days):
+                hi = np.searchsorted(block, starts + days, side="right")
+                hits[k][sel] = hi > lo
+        return [
+            int(np.count_nonzero(hits[k][: self.n_alive[k]]))
+            for k in range(n_spans)
+        ]
+
+
+def conditional_counts_batch(
+    triggers: Sequence[EventIndex],
+    targets: Sequence[EventIndex],
+    period: ObservationPeriod,
+    spans: Sequence[Span],
+    scope: Scope = Scope.NODE,
+    rack_of: np.ndarray | None = None,
+    num_nodes: int | None = None,
+) -> list[list[list[Counts]]]:
+    """A trigger x target x span grid of conditional :class:`Counts`.
+
+    Computes, in one pass per trigger stream, every cell that per-cell
+    :func:`conditional_counts` calls would produce -- censoring, node
+    grouping and rack grouping of each trigger stream happen once and
+    are reused for every target and span, and the window-start
+    ``searchsorted`` is shared across spans.  Results are exactly equal
+    to the per-cell kernel (all reductions are integer counts of the
+    same searchsorted comparisons).
+
+    Args:
+        triggers: trigger event streams (grid rows).
+        targets: qualifying event streams (grid columns).
+        period: observation period.
+        spans: window lengths (grid depth).
+        scope / rack_of / num_nodes: as in :func:`conditional_counts`.
+
+    Returns:
+        ``grid[i][j][k]`` = counts for ``(triggers[i], targets[j],
+        spans[k])``.
+    """
+    spans = list(spans)
+    rack_sizes = None
+    if scope is not Scope.NODE and num_nodes is None:
+        raise WindowAnalysisError(f"{scope} scope requires num_nodes")
+    if scope is Scope.RACK:
+        if rack_of is None:
+            raise WindowAnalysisError("RACK scope requires a rack_of mapping")
+        rack_of = np.asarray(rack_of, dtype=np.int64)
+        if rack_of.shape != (num_nodes,):
+            raise WindowAnalysisError(
+                "rack_of must map every node of the system to a rack"
+            )
+        rack_sizes = np.bincount(rack_of, minlength=int(rack_of.max()) + 1)
+    grid: list[list[list[Counts]]] = []
+    for trigger in triggers:
+        plan = _TriggerPlan(trigger, period, spans, rack_of, rack_sizes)
+        grid.append(
+            [
+                _batch_cell_counts(
+                    plan, target, spans, scope, rack_of, num_nodes
+                )
+                for target in targets
+            ]
+        )
+    return grid
+
+
+def _batch_cell_counts(
+    plan: _TriggerPlan,
+    target: EventIndex,
+    spans: Sequence[Span],
+    scope: Scope,
+    rack_of: np.ndarray | None,
+    num_nodes: int | None,
+) -> list[Counts]:
+    """Per-span counts of one (trigger, target) pair of a batched grid."""
+    n_spans = len(spans)
+    own = plan.own_hit_counts(target)
+    if scope is Scope.NODE:
+        return [
+            Counts(own[k], plan.n_alive[k]) if plan.n_alive[k] else ZERO_COUNTS
+            for k in range(n_spans)
+        ]
+
+    # RACK / SYSTEM: pair trials; successes decompose into all in-scope
+    # nodes (per target-node block) minus the trigger's own node.
+    successes = [-own[k] for k in range(n_spans)]
+    if scope is Scope.RACK:
+        for node in target.event_nodes():
+            rack = int(rack_of[node]) if node < num_nodes else -1
+            if rack < 0:
+                continue
+            sel = plan.rack_order[
+                plan.rack_starts[rack] : plan.rack_starts[rack + 1]
+            ]
+            if not sel.size:
+                continue
+            block = target.node_block(int(node))
+            if not block.size:
+                continue
+            starts = plan.times[sel]
+            lo = np.searchsorted(block, starts, side="right")
+            for k, days in enumerate(plan.span_days):
+                hi = np.searchsorted(block, starts + days, side="right")
+                successes[k] += int(
+                    np.count_nonzero((hi > lo) & (sel < plan.n_alive[k]))
+                )
+        trials = [
+            int(plan.rack_trials_cumsum[plan.n_alive[k]])
+            for k in range(n_spans)
+        ]
+    else:
+        for node in target.event_nodes():
+            block = target.node_block(int(node))
+            if not block.size:
+                continue
+            lo = np.searchsorted(block, plan.times, side="right")
+            for k, days in enumerate(plan.span_days):
+                hi = np.searchsorted(block, plan.times + days, side="right")
+                successes[k] += int(np.count_nonzero((hi > lo)[: plan.n_alive[k]]))
+        trials = [plan.n_alive[k] * (num_nodes - 1) for k in range(n_spans)]
+    return [
+        Counts(successes[k], trials[k])
+        if plan.n_alive[k] and trials[k]
+        else ZERO_COUNTS
+        for k in range(n_spans)
+    ]
+
+
+def baseline_counts_batch(
+    targets: Sequence[EventIndex],
+    num_nodes: int,
+    period: ObservationPeriod,
+    spans: Sequence[Span],
+    node_subset: np.ndarray | None = None,
+) -> list[list[Counts]]:
+    """A target x span grid of tiled-window baseline :class:`Counts`.
+
+    Exactly equivalent to per-cell :func:`baseline_counts` calls, but the
+    event streams arrive pre-sorted as :class:`EventIndex` objects and a
+    ``node_subset`` filter is applied once per target instead of once per
+    (target, span) cell.
+
+    Returns:
+        ``grid[j][k]`` = counts for ``(targets[j], spans[k])``.
+    """
+    if num_nodes < 1:
+        raise WindowAnalysisError(f"num_nodes must be >= 1, got {num_nodes}")
+    spans = list(spans)
+    subset = None
+    n_nodes_at_risk = num_nodes
+    if node_subset is not None:
+        subset = np.asarray(node_subset, dtype=np.int64)
+        if subset.size == 0:
+            raise WindowAnalysisError("node_subset must be non-empty")
+        n_nodes_at_risk = int(np.unique(subset).size)
+    grid: list[list[Counts]] = []
+    for target in targets:
+        times, nodes = target.times, target.nodes
+        if subset is not None:
+            keep = np.isin(nodes, subset)
+            times, nodes = times[keep], nodes[keep]
+        row = []
+        for span in spans:
+            n_windows = count_windows(period, span)
+            idx = window_index(times, period, span)
+            valid = idx >= 0
+            keys = nodes[valid] * np.int64(n_windows) + idx[valid]
+            row.append(
+                Counts(int(np.unique(keys).size), n_nodes_at_risk * n_windows)
+            )
+        grid.append(row)
+    return grid
 
 
 def compare(

@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from .environment import NeutronReading, TemperatureReading
+from .environment import NeutronReading, TemperatureColumns, TemperatureReading
 from .failure import FailureRecord, MaintenanceRecord
 from .layout import MachineLayout
 from .taxonomy import (
@@ -32,7 +32,7 @@ from .taxonomy import (
     category_of,
 )
 from .timeutil import ObservationPeriod
-from .usage import JobRecord
+from .usage import JobColumns, JobRecord
 
 
 class DatasetError(ValueError):
@@ -346,6 +346,32 @@ class SystemDataset:
         counts = np.zeros(self.num_nodes, dtype=np.int64)
         np.add.at(counts, self.failure_table.node_ids, 1)
         return counts
+
+    def job_columns(self) -> JobColumns:
+        """The job log as :class:`JobColumns` (built once, then memoized).
+
+        A plain method with a manual instance-dict memo rather than a
+        ``cached_property`` so archive subclasses can override it to
+        serve columns straight from their stored arrays without
+        materializing record objects first.
+        """
+        cols = self.__dict__.get("_job_columns")
+        if cols is None:
+            cols = JobColumns.from_records(self.jobs)
+            self.__dict__["_job_columns"] = cols
+        return cols
+
+    def temperature_columns(self) -> TemperatureColumns:
+        """The temperature log as :class:`TemperatureColumns` (memoized).
+
+        Overridable by archive subclasses the same way as
+        :meth:`job_columns`.
+        """
+        cols = self.__dict__.get("_temperature_columns")
+        if cols is None:
+            cols = TemperatureColumns.from_records(self.temperatures)
+            self.__dict__["_temperature_columns"] = cols
+        return cols
 
     @property
     def has_usage(self) -> bool:

@@ -67,6 +67,34 @@ class TemperatureReading:
 
 
 @dataclass(frozen=True, slots=True)
+class TemperatureColumns:
+    """A temperature log as parallel numpy columns (one row per sample).
+
+    The columnar twin of a ``list[TemperatureReading]`` for
+    :func:`summarize_temperatures`; row order matches the record list's
+    iteration order so both paths aggregate identical value sequences.
+    """
+
+    times: np.ndarray
+    node_ids: np.ndarray
+    celsius: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @classmethod
+    def from_records(
+        cls, readings: Sequence[TemperatureReading]
+    ) -> "TemperatureColumns":
+        """Build columns from record objects, preserving sample order."""
+        return cls(
+            times=np.array([r.time for r in readings], dtype=float),
+            node_ids=np.array([r.node_id for r in readings], dtype=np.int64),
+            celsius=np.array([r.celsius for r in readings], dtype=float),
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class NodeTemperatureSummary:
     """Per-node aggregate of temperature readings (Table I variables).
 
@@ -89,16 +117,20 @@ class NodeTemperatureSummary:
 
 
 def summarize_temperatures(
-    readings: Iterable[TemperatureReading],
+    readings: Iterable[TemperatureReading] | TemperatureColumns,
     num_nodes: int,
 ) -> list[NodeTemperatureSummary]:
     """Aggregate raw readings into per-node Table-I temperature variables.
 
-    Nodes with no readings get NaN aggregates and zero counts; regression
-    code drops or imputes them explicitly rather than silently.
+    Accepts record objects or a :class:`TemperatureColumns` (identical
+    result, computed without touching record objects).  Nodes with no
+    readings get NaN aggregates and zero counts; regression code drops
+    or imputes them explicitly rather than silently.
     """
     if num_nodes < 1:
         raise EnvironmentRecordError(f"num_nodes must be >= 1, got {num_nodes}")
+    if isinstance(readings, TemperatureColumns):
+        return _summaries_from_columns(readings, num_nodes)
     samples: list[list[float]] = [[] for _ in range(num_nodes)]
     for r in readings:
         if r.node_id >= num_nodes:
@@ -110,6 +142,49 @@ def summarize_temperatures(
     out = []
     for node in range(num_nodes):
         vals = np.asarray(samples[node], dtype=float)
+        if vals.size == 0:
+            out.append(
+                NodeTemperatureSummary(
+                    node_id=node,
+                    avg_temp=float("nan"),
+                    max_temp=float("nan"),
+                    temp_var=float("nan"),
+                    num_hightemp=0,
+                    num_readings=0,
+                )
+            )
+            continue
+        out.append(
+            NodeTemperatureSummary(
+                node_id=node,
+                avg_temp=float(vals.mean()),
+                max_temp=float(vals.max()),
+                temp_var=float(vals.var()),
+                num_hightemp=int((vals > HIGH_TEMP_THRESHOLD_C).sum()),
+                num_readings=int(vals.size),
+            )
+        )
+    return out
+
+
+def _summaries_from_columns(
+    cols: TemperatureColumns, num_nodes: int
+) -> list[NodeTemperatureSummary]:
+    """Columnar :func:`summarize_temperatures`; bit-identical to the
+    record path (stable sort keeps each node's sample order)."""
+    nodes = cols.node_ids
+    if nodes.size and int(nodes.max()) >= num_nodes:
+        bad = int(nodes[np.argmax(nodes >= num_nodes)])
+        raise EnvironmentRecordError(
+            f"reading references node {bad} but the system has "
+            f"only {num_nodes} nodes"
+        )
+    order = np.argsort(nodes, kind="stable")
+    values = cols.celsius[order]
+    bounds = np.searchsorted(nodes[order], np.arange(num_nodes + 1))
+    out = []
+    for node in range(num_nodes):
+        vals = values[bounds[node] : bounds[node + 1]]
         if vals.size == 0:
             out.append(
                 NodeTemperatureSummary(

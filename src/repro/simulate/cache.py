@@ -42,8 +42,8 @@ from pathlib import Path
 import numpy as np
 
 from ..records.dataset import Archive, SystemDataset
-from ..records.environment import TemperatureReading
-from ..records.usage import JobRecord
+from ..records.environment import TemperatureColumns, TemperatureReading
+from ..records.usage import JobColumns, JobRecord
 from .archive import make_archive
 from .config import ArchiveConfig
 from .failures import GENERATOR_VERSION
@@ -213,6 +213,61 @@ class _LazyColumnarSystem(SystemDataset):
     @temperatures.setter
     def temperatures(self, value) -> None:
         self.__dict__["_temperatures"] = tuple(value)
+
+    def job_columns(self) -> JobColumns:
+        """Serve job columns straight from the stored payload arrays.
+
+        Falls back to the record-based base implementation when the job
+        tuple was replaced via the setter (``dataclasses.replace``) or
+        already materialised -- the stored columns might then be stale
+        or redundant.
+        """
+        if "_jobs" in self.__dict__ or "_job_cols" not in self.__dict__:
+            return super().job_columns()
+        cols = self.__dict__.get("_job_columns")
+        if cols is None:
+            c = self.__dict__["_job_cols"]
+            cols = JobColumns(
+                dispatch_times=c["dispatch"],
+                end_times=c["end"],
+                user_ids=c["user"],
+                num_processors=c["nprocs"],
+                failed_due_to_node=c["failed"],
+                job_ids=c["job_id"],
+                node_offsets=c["offsets"],
+                node_ids=c["nodes"],
+            )
+            self.__dict__["_job_columns"] = cols
+        return cols
+
+    def temperature_columns(self) -> TemperatureColumns:
+        """Serve temperature columns straight from the payload arrays."""
+        if "_temperatures" in self.__dict__ or "_temp_cols" not in self.__dict__:
+            return super().temperature_columns()
+        cols = self.__dict__.get("_temperature_columns")
+        if cols is None:
+            c = self.__dict__["_temp_cols"]
+            cols = TemperatureColumns(
+                times=c["time"], node_ids=c["node"], celsius=c["celsius"]
+            )
+            self.__dict__["_temperature_columns"] = cols
+        return cols
+
+    @property
+    def has_usage(self) -> bool:
+        """Job-log presence without materialising the record tuple."""
+        jobs = self.__dict__.get("_jobs")
+        if jobs is not None:
+            return len(jobs) > 0
+        return int(self.__dict__["_job_cols"]["job_id"].size) > 0
+
+    @property
+    def has_temperature(self) -> bool:
+        """Temperature presence without materialising the record tuple."""
+        temps = self.__dict__.get("_temperatures")
+        if temps is not None:
+            return len(temps) > 0
+        return int(self.__dict__["_temp_cols"]["time"].size) > 0
 
 
 def _encode_system(ds: SystemDataset) -> dict:

@@ -1,0 +1,223 @@
+"""Equivalence of the batched window kernels with the per-cell ones.
+
+The batched kernels must produce *exactly* the per-cell ``Counts`` --
+every reduction is an integer count of searchsorted comparisons, so
+batching changes evaluation order but not a single value.  These tests
+pin that on the medium fixture across scopes, spans and event kinds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.records.taxonomy import Category, HardwareSubtype, all_categories
+from repro.records.timeutil import ALL_SPANS, Span
+from repro.core.windows import (
+    Scope,
+    WindowAnalysisError,
+    baseline_counts,
+    baseline_counts_batch,
+    conditional_counts,
+    conditional_counts_batch,
+)
+
+
+def _indexes(ds, kinds):
+    out = []
+    for kind in kinds:
+        if kind is None or isinstance(kind, Category):
+            out.append(ds.failure_table.events(category=kind))
+        else:
+            out.append(ds.failure_table.events(subtype=kind))
+    return out
+
+
+TRIGGER_KINDS = [None, *all_categories(), HardwareSubtype.MEMORY]
+TARGET_KINDS = [None, Category.HARDWARE, Category.SOFTWARE, HardwareSubtype.CPU]
+
+
+class TestConditionalBatchEquivalence:
+    @pytest.mark.parametrize("scope", [Scope.NODE, Scope.SYSTEM])
+    def test_matches_per_cell_exactly(self, group1, scope):
+        ds = group1[0]
+        triggers = _indexes(ds, TRIGGER_KINDS)
+        targets = _indexes(ds, TARGET_KINDS)
+        grid = conditional_counts_batch(
+            triggers,
+            targets,
+            ds.period,
+            ALL_SPANS,
+            scope=scope,
+            num_nodes=ds.num_nodes,
+        )
+        for i, trig in enumerate(triggers):
+            for j, targ in enumerate(targets):
+                for k, span in enumerate(ALL_SPANS):
+                    expected = conditional_counts(
+                        period=ds.period,
+                        span=span,
+                        scope=scope,
+                        num_nodes=ds.num_nodes,
+                        trigger_index=trig,
+                        target_index=targ,
+                    )
+                    assert grid[i][j][k] == expected
+
+    def test_matches_per_cell_rack_scope(self, group1):
+        ds = next(s for s in group1 if s.rack_of is not None)
+        triggers = _indexes(ds, TRIGGER_KINDS)
+        targets = _indexes(ds, TARGET_KINDS)
+        grid = conditional_counts_batch(
+            triggers,
+            targets,
+            ds.period,
+            [Span.DAY, Span.WEEK],
+            scope=Scope.RACK,
+            rack_of=ds.rack_of,
+            num_nodes=ds.num_nodes,
+        )
+        for i, trig in enumerate(triggers):
+            for j, targ in enumerate(targets):
+                for k, span in enumerate([Span.DAY, Span.WEEK]):
+                    expected = conditional_counts(
+                        period=ds.period,
+                        span=span,
+                        scope=Scope.RACK,
+                        rack_of=ds.rack_of,
+                        num_nodes=ds.num_nodes,
+                        trigger_index=trig,
+                        target_index=targ,
+                    )
+                    assert grid[i][j][k] == expected
+
+    def test_empty_trigger_stream(self, group1):
+        ds = group1[0]
+        empty = ds.failure_table.events(subtype=HardwareSubtype.MIDPLANE)
+        target = ds.failure_table.events()
+        if empty.times.size:
+            pytest.skip("fixture realisation has midplane failures")
+        grid = conditional_counts_batch(
+            [empty], [target], ds.period, ALL_SPANS, num_nodes=ds.num_nodes
+        )
+        for k, span in enumerate(ALL_SPANS):
+            assert grid[0][0][k] == conditional_counts(
+                period=ds.period,
+                span=span,
+                num_nodes=ds.num_nodes,
+                trigger_index=empty,
+                target_index=target,
+            )
+
+    def test_rack_scope_requires_mapping(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        with pytest.raises(WindowAnalysisError):
+            conditional_counts_batch(
+                [idx],
+                [idx],
+                ds.period,
+                [Span.WEEK],
+                scope=Scope.RACK,
+                num_nodes=ds.num_nodes,
+            )
+
+
+class TestBaselineBatchEquivalence:
+    def test_matches_per_cell_exactly(self, group1):
+        ds = group1[0]
+        targets = _indexes(ds, TARGET_KINDS)
+        grid = baseline_counts_batch(
+            targets, ds.num_nodes, ds.period, ALL_SPANS
+        )
+        for j, targ in enumerate(targets):
+            for k, span in enumerate(ALL_SPANS):
+                expected = baseline_counts(
+                    targ.times, targ.nodes, ds.num_nodes, ds.period, span
+                )
+                assert grid[j][k] == expected
+
+    def test_matches_per_cell_with_node_subset(self, group1):
+        ds = group1[0]
+        targets = _indexes(ds, [None, Category.HARDWARE])
+        subset = np.arange(0, ds.num_nodes, 2, dtype=np.int64)
+        grid = baseline_counts_batch(
+            targets, ds.num_nodes, ds.period, ALL_SPANS, node_subset=subset
+        )
+        for j, targ in enumerate(targets):
+            for k, span in enumerate(ALL_SPANS):
+                expected = baseline_counts(
+                    targ.times,
+                    targ.nodes,
+                    ds.num_nodes,
+                    ds.period,
+                    span,
+                    node_subset=subset,
+                )
+                assert grid[j][k] == expected
+
+
+class TestConditionalCountsApi:
+    def test_index_only_call(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        direct = conditional_counts(
+            idx.times,
+            idx.nodes,
+            idx.times,
+            idx.nodes,
+            ds.period,
+            Span.WEEK,
+        )
+        via_index = conditional_counts(
+            period=ds.period,
+            span=Span.WEEK,
+            trigger_index=idx,
+            target_index=idx,
+        )
+        assert via_index == direct
+
+    def test_redundant_target_arrays_warn(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        with pytest.warns(DeprecationWarning, match="target_times"):
+            conditional_counts(
+                idx.times,
+                idx.nodes,
+                idx.times,
+                idx.nodes,
+                ds.period,
+                Span.WEEK,
+                target_index=idx,
+            )
+
+    def test_redundant_trigger_arrays_warn(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        with pytest.warns(DeprecationWarning, match="trigger_times"):
+            conditional_counts(
+                trigger_times=idx.times,
+                trigger_nodes=idx.nodes,
+                period=ds.period,
+                span=Span.WEEK,
+                trigger_index=idx,
+                target_index=idx,
+            )
+
+    def test_missing_period_or_span_rejected(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        with pytest.raises(WindowAnalysisError, match="period and span"):
+            conditional_counts(trigger_index=idx, target_index=idx)
+
+    def test_missing_events_rejected(self, group1):
+        ds = group1[0]
+        idx = ds.failure_table.events()
+        with pytest.raises(WindowAnalysisError, match="trigger"):
+            conditional_counts(
+                period=ds.period, span=Span.WEEK, target_index=idx
+            )
+        with pytest.raises(WindowAnalysisError, match="target"):
+            conditional_counts(
+                period=ds.period, span=Span.WEEK, trigger_index=idx
+            )
