@@ -15,11 +15,18 @@ how *fast* the pipeline is, writing the measurements to
 * **analysis** -- one representative window analysis (the Section
   III-A.3 pairwise matrix over group-1), first on cold per-category
   event indices, then warm;
-* **report** -- the full combined report four ways: per-cell (analysis
+* **report** -- the full combined report five ways: per-cell (analysis
   cache disabled, the pre-batching code path), cold (batched kernels,
-  empty cache), warm (fully memoized) and parallel (section pool).
-  All four texts are asserted byte-identical before timings are
-  recorded.
+  empty cache), warm (fully memoized), parallel (section pool) and
+  traced (warm run with span collection on).  All five texts are
+  asserted byte-identical before timings are recorded;
+* **telemetry no-op** -- the disabled span+counter fast path, timed
+  before ``REPRO_TELEMETRY`` is applied and guarded by
+  ``check_perf_regression.py`` so instrumentation stays free when off.
+
+With ``REPRO_TELEMETRY=trace`` and ``REPRO_TRACE_FILE`` set (as in CI)
+the run's span tree is exported as JSONL, and the metrics snapshot is
+embedded in the output JSON either way.
 
 Run from the repository root::
 
@@ -45,6 +52,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.cache import cache_disabled
 from repro.core.correlations import pairwise_matrix
 from repro.core.report import full_report
@@ -59,6 +67,26 @@ from repro.simulate.failures import GENERATOR_VERSION
 BENCH_SEED = 46
 BENCH_YEARS = 7.0
 BENCH_SCALE = 0.35
+
+#: Iterations of the disabled span + counter pair timed for the
+#: zero-overhead guard (``telemetry_noop_s`` in the output).
+NOOP_ITERATIONS = 100_000
+
+
+def _time_telemetry_noop() -> float:
+    """Seconds for ``NOOP_ITERATIONS`` disabled span+counter call pairs.
+
+    Runs inside :func:`telemetry.disabled` so the measurement reflects
+    the fast path regardless of ``REPRO_TELEMETRY``; the perf gate
+    fails the build if this creeps up (i.e. instrumentation stopped
+    being free when switched off).
+    """
+    with telemetry.disabled():
+        t0 = time.perf_counter()
+        for i in range(NOOP_ITERATIONS):
+            with telemetry.span("bench.noop", iteration=i):
+                telemetry.counter_add("bench.noop", 1)
+        return time.perf_counter() - t0
 
 
 def _timed(fn, repeats: int = 1):
@@ -86,6 +114,17 @@ def run(args: argparse.Namespace) -> dict:
         f"config: seed={config.seed} years={config.years} "
         f"scale={config.scale} (generator v{GENERATOR_VERSION})"
     )
+
+    # Measured before configure_from_env() so a CI run with
+    # REPRO_TELEMETRY set still times the genuinely-disabled fast path.
+    timings["telemetry_noop_s"] = _time_telemetry_noop()
+    print(
+        f"telemetry no-op overhead: {timings['telemetry_noop_s']:8.2f} s "
+        f"({NOOP_ITERATIONS} span+counter pairs)"
+    )
+    telemetry.configure_from_env()
+    telemetry.enable_metrics()
+    telemetry.reset_metrics()
 
     timings["cold_serial_s"], archive = _timed(lambda: make_archive(config))
     print(f"cold serial generation:   {timings['cold_serial_s']:8.2f} s")
@@ -137,12 +176,21 @@ def run(args: argparse.Namespace) -> dict:
         timings["report_parallel_s"], parallel_text = _timed(
             lambda: full_report(parallel_archive, workers=report_workers)
         )
-        assert percell_text == cold_text == warm_text == parallel_text, (
-            "full_report output differs between cache/parallel variants"
-        )
+        # Warm report with span collection forced on (scoped trace, so
+        # this measures tracing cost no matter what REPRO_TELEMETRY
+        # says); output must stay byte-identical to the untraced runs.
+        with telemetry.trace("bench.report"):
+            timings["report_traced_s"], traced_text = _timed(
+                lambda: full_report(cold_archive)
+            )
+        assert (
+            percell_text == cold_text == warm_text == parallel_text
+            == traced_text
+        ), "full_report output differs between cache/parallel/trace variants"
     print(f"report per-cell:          {timings['report_percell_s']:8.2f} s")
     print(f"report cold cache:        {timings['report_cold_s']:8.2f} s")
     print(f"report warm cache:        {timings['report_warm_s']:8.2f} s")
+    print(f"report warm traced:       {timings['report_traced_s']:8.2f} s")
     print(
         f"report parallel ({report_workers} workers): "
         f"{timings['report_parallel_s']:5.2f} s"
@@ -200,6 +248,7 @@ def run(args: argparse.Namespace) -> dict:
         "total_failures": archive.total_failures(),
         "timings_s": {k: round(v, 4) for k, v in timings.items()},
         "derived": {k: round(v, 2) for k, v in derived.items()},
+        "metrics": telemetry.metrics_snapshot(),
     }
 
 
@@ -238,6 +287,11 @@ def main(argv: list[str] | None = None) -> int:
     report = run(args)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    roots = telemetry.finish_trace()
+    trace_file = telemetry.trace_file_from_env()
+    if trace_file and roots:
+        telemetry.write_spans_jsonl(roots, trace_file)
+        print(f"wrote {trace_file}")
     return 0
 
 

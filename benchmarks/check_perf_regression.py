@@ -2,12 +2,17 @@
 """Fail CI when the memoized report path regresses against the baseline.
 
 Compares a fresh ``bench_perf.py --smoke`` measurement against the
-committed smoke baseline (``BENCH_PERF_SMOKE.json``).  The guarded
-number is ``report_warm_s`` -- the fully memoized ``full_report`` run,
-the headline win of the analysis-cache work -- which must stay within
-``--factor`` (default 2x) of the baseline.  A small absolute slack
-absorbs timer noise on very fast runs so sub-100ms jitter cannot flap
-the build.
+committed smoke baseline (``BENCH_PERF_SMOKE.json``).  Two numbers are
+guarded, each within ``--factor`` (default 2x) of its baseline:
+
+* ``report_warm_s`` -- the fully memoized ``full_report`` run, the
+  headline win of the analysis-cache work;
+* ``telemetry_noop_s`` -- the disabled-telemetry fast path (100k
+  span+counter pairs), so instrumentation that stops being free when
+  switched off fails the build.
+
+A small absolute slack absorbs timer noise on very fast runs so
+sub-100ms jitter cannot flap the build.
 
 Run from the repository root::
 
@@ -23,7 +28,7 @@ import sys
 from pathlib import Path
 
 #: Timings guarded against regression (all from the smoke configuration).
-GUARDED = ("report_warm_s",)
+GUARDED = ("report_warm_s", "telemetry_noop_s")
 
 
 def check(

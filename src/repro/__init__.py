@@ -11,7 +11,9 @@ library:
   every paper effect injected as a documented parameter;
 * :mod:`repro.core` -- the paper's analyses, one module per section;
 * :mod:`repro.prediction` -- risk scoring and checkpoint advice built on
-  the findings.
+  the findings;
+* :mod:`repro.telemetry` -- opt-in tracing, metrics and run manifests
+  across the generate -> analyze -> report pipeline.
 
 Quickstart::
 
@@ -20,6 +22,7 @@ Quickstart::
     print(full_report(archive))
 """
 
+from . import telemetry
 from .core.cache import cache_disabled, cache_stats, get_cache
 from .core.report import full_report, profiled_full_report
 from .records.dataset import Archive, HardwareGroup, SystemDataset
@@ -51,5 +54,6 @@ __all__ = [
     "quick_archive",
     "save_archive",
     "small_config",
+    "telemetry",
     "validate_archive",
 ]

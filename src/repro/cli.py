@@ -14,15 +14,16 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import time
 from pathlib import Path
 
+from . import telemetry
 from .records.dataset import Archive
 from .records.io import load_archive, save_archive
 from .records.validation import validate_archive
 from .simulate.archive import make_archive
 from .simulate.config import ArchiveConfig
 from .core import report as report_mod
-from .core.report import full_report
 from .prediction.checkpoint import advise
 from .prediction.risk import RiskModel
 
@@ -53,6 +54,18 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
         help=(
             "always generate from scratch instead of reusing/updating the "
             "archive cache (REPRO_CACHE_DIR or ~/.cache/hpcfail/archives)"
+        ),
+    )
+    _add_trace_arg(p)
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "collect telemetry (spans + metrics) for this run and print "
+            "the span tree and metric counters to stderr on exit"
         ),
     )
 
@@ -109,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
             "to stderr after the report"
         ),
     )
+    _add_trace_arg(p)
+    p.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metric counters as JSON to PATH",
+    )
+    p.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a run manifest (versions, timings, cache statistics) "
+            "as JSON to PATH"
+        ),
+    )
 
     p = sub.add_parser("section", help="run one paper section's analysis")
     _add_archive_arg(p)
@@ -155,18 +186,76 @@ def _load(path: Path) -> Archive:
     return load_archive(path)
 
 
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    """Apply REPRO_TELEMETRY, then layer the --trace flag on top."""
+    telemetry.configure_from_env()
+    if getattr(args, "trace", False):
+        if not telemetry.tracing():
+            telemetry.start_trace()
+        telemetry.enable_metrics()
+
+
+def _finish_telemetry(args: argparse.Namespace) -> None:
+    """Flush whatever telemetry the run collected.
+
+    Runs unconditionally after dispatch (even on SystemExit) so traces
+    of failed runs are still exported: ``--trace`` prints the span tree
+    and metric counters to stderr, ``REPRO_TRACE_FILE`` gets the JSONL
+    export, and ``--metrics-out`` gets the metrics snapshot.
+    """
+    roots = telemetry.finish_trace()
+    if getattr(args, "trace", False):
+        if roots:
+            print(telemetry.render_span_tree(roots), file=sys.stderr)
+        rendered = telemetry.render_metrics(telemetry.metrics_snapshot())
+        if rendered:
+            print(rendered, file=sys.stderr)
+    trace_file = telemetry.trace_file_from_env()
+    if trace_file and roots:
+        telemetry.write_spans_jsonl(roots, trace_file)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        telemetry.write_metrics_json(metrics_out, telemetry.metrics_snapshot())
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _setup_telemetry(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _finish_telemetry(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         config = ArchiveConfig(seed=args.seed, years=args.years, scale=args.scale)
+        t0 = time.perf_counter()
         if args.no_cache:
             archive = make_archive(config, workers=args.workers)
         else:
             from .simulate.cache import cached_make_archive
 
             archive = cached_make_archive(config, workers=args.workers)
+        generate_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
         save_archive(archive, args.output)
+        save_s = time.perf_counter() - t0
+        telemetry.write_manifest(
+            args.output / "manifest.json",
+            telemetry.build_manifest(
+                "generate",
+                config=config,
+                archive=archive,
+                timings={"generate_s": generate_s, "save_s": save_s},
+                extra={
+                    "workers": args.workers,
+                    "cached": not args.no_cache,
+                    "output": str(args.output),
+                },
+            ),
+        )
         total = archive.total_failures()
         print(
             f"wrote {len(archive)} systems, {total} failures to {args.output}"
@@ -177,16 +266,36 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         return 0 if report.ok else 1
     if args.command == "report":
-        if args.profile:
-            from .core.report import profiled_full_report
+        from .core.report import profiled_full_report
 
-            text, profile = profiled_full_report(
-                _load(args.archive), workers=args.workers
-            )
-            print(text)
+        archive = _load(args.archive)
+        # The profiled runner *is* the plain runner plus span-derived
+        # timings, so stdout is byte-identical whether or not --profile,
+        # --trace or --manifest are set.
+        text, profile = profiled_full_report(archive, workers=args.workers)
+        print(text)
+        if args.profile:
             print(profile.render(), file=sys.stderr)
-        else:
-            print(full_report(_load(args.archive), workers=args.workers))
+        if args.manifest is not None:
+            timings = {"report_total_s": profile.total_seconds}
+            for name, seconds in profile.section_seconds:
+                timings[f"section.{name}_s"] = seconds
+            telemetry.write_manifest(
+                args.manifest,
+                telemetry.build_manifest(
+                    "report",
+                    archive=archive,
+                    timings=timings,
+                    extra={
+                        "workers": profile.workers,
+                        "archive_path": str(args.archive),
+                        "analysis_cache_delta": {
+                            "hits": profile.cache_hits,
+                            "misses": profile.cache_misses,
+                        },
+                    },
+                ),
+            )
         return 0
     if args.command == "section":
         print(_SECTIONS[args.name](_load(args.archive)))

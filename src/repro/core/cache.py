@@ -43,6 +43,7 @@ from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..records.dataset import EventIndex, SystemDataset
+from ..telemetry import counter_add
 from ..records.environment import summarize_temperatures
 from ..records.taxonomy import Category, Subtype
 from ..records.timeutil import Span
@@ -125,6 +126,25 @@ class AnalysisCache:
         self._summaries: dict[Hashable, object] = {}
         self.hits = 0
         self.misses = 0
+        self.bypassed = 0
+
+    def _record(self, hits: int = 0, misses: int = 0, bypassed: int = 0) -> None:
+        """The single bookkeeping point for every cache query.
+
+        Updates the per-instance tallies (served to ``--profile`` via
+        :func:`cache_stats`) and mirrors them into the telemetry
+        metrics registry.  ``bypassed`` counts cells computed on the
+        legacy path inside a :func:`cache_disabled` block.
+        """
+        if hits:
+            self.hits += hits
+            counter_add("analysis_cache.hits", hits)
+        if misses:
+            self.misses += misses
+            counter_add("analysis_cache.misses", misses)
+        if bypassed:
+            self.bypassed += bypassed
+            counter_add("analysis_cache.bypassed", bypassed)
 
     @property
     def entries(self) -> int:
@@ -191,6 +211,7 @@ class AnalysisCache:
             raise ValueError("node_subset requires a subset_key token")
         ds = self._ds
         if not _enabled:
+            self._record(bypassed=len(kinds) * len(spans))
             return [
                 [
                     baseline_counts(
@@ -224,16 +245,14 @@ class AnalysisCache:
             for kind, row in zip(missing, fresh):
                 for span, counts in zip(spans, row):
                     self._counts[("base", kind, span, subset_key)] = counts
+        n_missed = sum(1 for kind in kinds if kind in missing) * len(spans)
+        self._record(
+            hits=len(kinds) * len(spans) - n_missed, misses=n_missed
+        )
         for kind in kinds:
-            row = []
-            for span in spans:
-                key = ("base", kind, span, subset_key)
-                row.append(self._counts[key])
-                if kind in missing:
-                    self.misses += 1
-                else:
-                    self.hits += 1
-            grid.append(row)
+            grid.append(
+                [self._counts[("base", kind, span, subset_key)] for span in spans]
+            )
         return grid
 
     def conditional(
@@ -263,6 +282,7 @@ class AnalysisCache:
         ds = self._ds
         rack_of = ds.rack_of if scope is Scope.RACK else None
         if not _enabled:
+            self._record(bypassed=len(triggers) * len(targets) * len(spans))
             return [
                 [
                     [
@@ -305,19 +325,25 @@ class AnalysisCache:
                     for span, counts in zip(spans, row):
                         key = ("cond", trigger, target, span, scope)
                         self._counts[key] = counts
+        cells_per_trigger = len(targets) * len(spans)
+        n_missed = (
+            sum(1 for trigger in triggers if trigger in missing)
+            * cells_per_trigger
+        )
+        self._record(
+            hits=len(triggers) * cells_per_trigger - n_missed, misses=n_missed
+        )
         grid: list[list[list[Counts]]] = []
         for trigger in triggers:
-            plane = []
-            for target in targets:
-                row = []
-                for span in spans:
-                    row.append(self._counts[("cond", trigger, target, span, scope)])
-                    if trigger in missing:
-                        self.misses += 1
-                    else:
-                        self.hits += 1
-                plane.append(row)
-            grid.append(plane)
+            grid.append(
+                [
+                    [
+                        self._counts[("cond", trigger, target, span, scope)]
+                        for span in spans
+                    ]
+                    for target in targets
+                ]
+            )
         return grid
 
     def _kind_arrays(self, kind: Kind) -> tuple[np.ndarray, np.ndarray]:
@@ -330,13 +356,14 @@ class AnalysisCache:
     def summary(self, key: Hashable, compute: Callable[[], T]) -> T:
         """Memoize an arbitrary per-system value under ``key``."""
         if not _enabled:
+            self._record(bypassed=1)
             return compute()
         try:
             value = self._summaries[key]
-            self.hits += 1
+            self._record(hits=1)
             return value  # type: ignore[return-value]
         except KeyError:
-            self.misses += 1
+            self._record(misses=1)
             value = self._summaries[key] = compute()
             return value
 
@@ -345,6 +372,7 @@ class AnalysisCache:
         ds = self._ds
         if not _enabled:
             # Legacy path: materialize and iterate the record tuples.
+            self._record(bypassed=1)
             return node_usage_summaries(ds.jobs, ds.num_nodes, ds.period)
         return self.summary(
             ("node_usage",),
@@ -357,6 +385,7 @@ class AnalysisCache:
         """Memoized per-user usage summaries (Section VI), heaviest first."""
         ds = self._ds
         if not _enabled:
+            self._record(bypassed=1)
             return user_usage_summaries(ds.jobs)
         return self.summary(
             ("user_usage",), lambda: user_usage_summaries(ds.job_columns())
@@ -366,6 +395,7 @@ class AnalysisCache:
         """Memoized per-node temperature aggregates (Sections VIII and X)."""
         ds = self._ds
         if not _enabled:
+            self._record(bypassed=1)
             return summarize_temperatures(ds.temperatures, ds.num_nodes)
         return self.summary(
             ("temperature_summaries",),

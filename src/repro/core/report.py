@@ -10,7 +10,6 @@ the systems that support it.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -19,6 +18,7 @@ from ..records.dataset import Archive, HardwareGroup, SystemDataset
 from ..records.taxonomy import Category, format_label
 from ..records.timeutil import Span
 from ..stats.glm import GLMError
+from .. import telemetry
 from . import correlations, cosmic, downtime, interarrival, lifecycle, nodes, power, temperature, users, usage
 from .cache import cache_stats
 from .regression import (
@@ -414,33 +414,61 @@ class ReportProfile:
 def _run_report(
     archive: Archive, fig4_systems: Sequence[int], workers: int | None
 ) -> tuple[str, ReportProfile]:
+    """Render every section, timed via telemetry spans.
+
+    Each section renders inside a ``report.section`` span under one
+    ``report.run`` root; the :class:`ReportProfile` is read back off
+    those spans, so the ``--profile`` table and a ``--trace`` tree are
+    two views of the same measurement.  :func:`telemetry.ensure_trace`
+    makes the spans real even when telemetry is globally disabled (the
+    private trace is discarded; only the durations survive in the
+    profile).  Worker threads get a :func:`telemetry.bind_context` copy
+    of the submitting context, so their section spans nest under the
+    run root instead of surfacing as orphan roots.
+    """
     n_workers = max(1, int(workers) if workers else 1)
     hits0, misses0, _ = cache_stats(archive)
-    started = time.perf_counter()
 
     def timed_section(
         entry: tuple[str, Callable[[Archive, Sequence[int]], str]]
-    ) -> tuple[str, float]:
+    ) -> tuple[str, telemetry.Span]:
         name, render = entry
-        t0 = time.perf_counter()
-        text = render(archive, fig4_systems)
-        return text, time.perf_counter() - t0
+        with telemetry.span("report.section", section=name) as section_span:
+            text = render(archive, fig4_systems)
+        return text, section_span
 
-    if n_workers == 1:
-        results = [timed_section(entry) for entry in REPORT_SECTIONS]
-    else:
-        # executor.map yields in submission order, so the combined text
-        # is identical to the serial run no matter how sections overlap.
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(timed_section, REPORT_SECTIONS))
-    total = time.perf_counter() - started
+    with telemetry.ensure_trace():
+        with telemetry.span("report.run", workers=n_workers) as run_span:
+            if n_workers == 1:
+                results = [timed_section(entry) for entry in REPORT_SECTIONS]
+            else:
+                # One context copy per task carries the report.run span
+                # into the pool threads; executor.map yields in
+                # submission order, so the combined text is identical to
+                # the serial run no matter how sections overlap.
+                tasks = [
+                    telemetry.bind_context(timed_section)
+                    for _ in REPORT_SECTIONS
+                ]
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    results = list(
+                        pool.map(
+                            lambda pair: pair[0](pair[1]),
+                            zip(tasks, REPORT_SECTIONS),
+                        )
+                    )
     hits1, misses1, entries = cache_stats(archive)
+    run_span.set_attrs(
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+        cache_entries=entries,
+    )
     profile = ReportProfile(
         section_seconds=tuple(
-            (name, seconds)
-            for (name, _), (_, seconds) in zip(REPORT_SECTIONS, results)
+            (name, section_span.duration)
+            for (name, _), (_, section_span) in zip(REPORT_SECTIONS, results)
         ),
-        total_seconds=total,
+        total_seconds=run_span.duration,
         workers=n_workers,
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,

@@ -41,6 +41,7 @@ from ..stats.proportion import (
     two_sample_z_test,
     wilson_interval,
 )
+from ..telemetry import counter_add
 
 
 class WindowAnalysisError(ValueError):
@@ -142,6 +143,7 @@ def baseline_counts(
     """
     if num_nodes < 1:
         raise WindowAnalysisError(f"num_nodes must be >= 1, got {num_nodes}")
+    counter_add("windows.baseline_cells", 1, path="percell")
     times, nodes = _check_events(target_times, target_nodes)
     n_windows = count_windows(period, span)
     if node_subset is None:
@@ -217,6 +219,7 @@ def conditional_counts(
     """
     if period is None or span is None:
         raise WindowAnalysisError("period and span are required")
+    counter_add("windows.conditional_cells", 1, path="percell")
     if trigger_index is not None:
         if trigger_times is not None or trigger_nodes is not None:
             warnings.warn(
@@ -456,6 +459,12 @@ def conditional_counts_batch(
         spans[k])``.
     """
     spans = list(spans)
+    counter_add("windows.conditional_batch_calls", 1)
+    counter_add(
+        "windows.conditional_cells",
+        len(triggers) * len(targets) * len(spans),
+        path="batch",
+    )
     rack_sizes = None
     if scope is not Scope.NODE and num_nodes is None:
         raise WindowAnalysisError(f"{scope} scope requires num_nodes")
@@ -564,6 +573,10 @@ def baseline_counts_batch(
     if num_nodes < 1:
         raise WindowAnalysisError(f"num_nodes must be >= 1, got {num_nodes}")
     spans = list(spans)
+    counter_add("windows.baseline_batch_calls", 1)
+    counter_add(
+        "windows.baseline_cells", len(targets) * len(spans), path="batch"
+    )
     subset = None
     n_nodes_at_risk = num_nodes
     if node_subset is not None:

@@ -38,6 +38,7 @@ from .layout import MachineLayout, NodePlacement
 from .taxonomy import Category, Subtype, parse_category, parse_subtype
 from .timeutil import ObservationPeriod
 from .usage import JobRecord
+from ..telemetry import span
 
 
 class ArchiveIOError(ValueError):
@@ -336,6 +337,11 @@ def save_archive(archive: Archive, root: Path | str) -> None:
     Creates ``root`` (and parents) if needed; overwrites existing files.
     """
     root = Path(root)
+    with span("io.save_archive", path=str(root), systems=len(archive)):
+        _save_archive(archive, root)
+
+
+def _save_archive(archive: Archive, root: Path) -> None:
     root.mkdir(parents=True, exist_ok=True)
     with (root / "systems.csv").open("w", newline="") as fh:
         w = csv.writer(fh)
@@ -369,6 +375,13 @@ def load_archive(root: Path | str) -> Archive:
     """Load an :class:`Archive` from a directory tree written by
     :func:`save_archive` (or laid out by hand in the same format)."""
     root = Path(root)
+    with span("io.load_archive", path=str(root)) as s:
+        archive = _load_archive(root)
+        s.set_attrs(systems=len(archive))
+        return archive
+
+
+def _load_archive(root: Path) -> Archive:
     systems_path = root / "systems.csv"
     systems = []
     for i, row in enumerate(_open_rows(systems_path, _SYSTEMS_HEADER), start=2):

@@ -26,6 +26,7 @@ from ..records.failure import MaintenanceRecord
 from ..records.layout import MachineLayout, regular_layout
 from ..records.timeutil import DAYS_PER_YEAR, ObservationPeriod
 from ..records.usage import JobRecord
+from ..telemetry import counter_add, span, tracing
 from .config import ArchiveConfig, SystemSpec, small_config
 from .failures import simulate_failures
 from .neutrons import generate_neutron_series
@@ -156,6 +157,16 @@ def generate_system(
     flux_per_day: np.ndarray,
 ) -> SystemDataset:
     """Generate one system's complete dataset."""
+    with span("simulate.system", system_id=spec.system_id):
+        return _generate_system(spec, config, streams, flux_per_day)
+
+
+def _generate_system(
+    spec: SystemSpec,
+    config: ArchiveConfig,
+    streams: RngStreams,
+    flux_per_day: np.ndarray,
+) -> SystemDataset:
     sid = spec.system_id
     period = ObservationPeriod(0.0, config.duration_days)
 
@@ -228,6 +239,11 @@ def generate_system(
             streams.get(f"system-{sid}/job-failures"),
         )
 
+    counter_add("simulate.events", len(organic), hazard="organic")
+    counter_add("simulate.events", len(stressors.failures), hazard="stressor")
+    counter_add("simulate.events", len(maintenance), hazard="maintenance")
+    counter_add("simulate.events", len(temperatures), hazard="temperature")
+    counter_add("simulate.events", len(jobs), hazard="job")
     return SystemDataset(
         system_id=sid,
         group=spec.group,
@@ -272,24 +288,51 @@ def make_archive(
             identical at any worker count (see :func:`_system_job`).
     """
     config = config or ArchiveConfig()
-    streams = RngStreams(config.seed)
-    neutron_readings, flux_per_day = generate_neutron_series(
-        config.duration_days,
-        streams.get("neutrons"),
-        sample_interval_days=config.neutron_sample_interval_days,
-    )
-    specs = config.scaled_systems()
-    if workers and workers > 1 and len(specs) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-        from itertools import repeat
-
-        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-            systems = list(
-                pool.map(_system_job, specs, repeat(config), repeat(flux_per_day))
+    with span(
+        "simulate.make_archive",
+        seed=config.seed,
+        years=config.years,
+        scale=config.scale,
+        workers=int(workers) if workers else 1,
+    ) as root:
+        streams = RngStreams(config.seed)
+        with span("simulate.neutrons"):
+            neutron_readings, flux_per_day = generate_neutron_series(
+                config.duration_days,
+                streams.get("neutrons"),
+                sample_interval_days=config.neutron_sample_interval_days,
             )
-    else:
-        systems = [_system_job(spec, config, flux_per_day) for spec in specs]
-    return Archive(systems, neutron_series=neutron_readings)
+        specs = config.scaled_systems()
+        root.set_attrs(systems=len(specs))
+        if workers and workers > 1 and len(specs) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            from itertools import repeat
+
+            # Per-system spans and counters happen inside the worker
+            # processes and are not collected; only this parent span
+            # (and the pooled totals below) survive a parallel run.
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(specs))
+            ) as pool:
+                systems = list(
+                    pool.map(
+                        _system_job, specs, repeat(config), repeat(flux_per_day)
+                    )
+                )
+            counter_add(
+                "simulate.events",
+                sum(len(ds.failures) for ds in systems),
+                hazard="all_parallel",
+            )
+        else:
+            systems = [
+                _system_job(spec, config, flux_per_day) for spec in specs
+            ]
+        archive = Archive(systems, neutron_series=neutron_readings)
+        counter_add("simulate.archives", 1)
+        if tracing():
+            root.set_attrs(total_failures=archive.total_failures())
+        return archive
 
 
 def quick_archive(seed: int = 0, years: float = 3.0, scale: float = 0.05) -> Archive:

@@ -44,6 +44,7 @@ import numpy as np
 from ..records.dataset import Archive, SystemDataset
 from ..records.environment import TemperatureColumns, TemperatureReading
 from ..records.usage import JobColumns, JobRecord
+from ..telemetry import counter_add, span
 from .archive import make_archive
 from .config import ArchiveConfig
 from .failures import GENERATOR_VERSION
@@ -363,27 +364,37 @@ def load_cached(
     removed (best-effort) and reported as a miss.
     """
     path = cache_path(config, directory)
-    try:
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
-    except FileNotFoundError:
-        return None
-    except Exception:
-        _discard(path)
-        return None
-    if (
-        not isinstance(payload, dict)
-        or payload.get("magic") != _MAGIC
-        or payload.get("format") != _FORMAT_VERSION
-        or payload.get("digest") != config_digest(config)
-    ):
-        _discard(path)
-        return None
-    try:
-        return _decode_archive(payload["archive"])
-    except Exception:
-        _discard(path)
-        return None
+    with span("archive_cache.load", path=path.name) as s:
+
+        def miss(reason: str) -> None:
+            s.set_attrs(result=reason)
+            counter_add("archive_cache.loads", 1, result=reason)
+            return None
+
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return miss("absent")
+        except Exception:
+            _discard(path)
+            return miss("corrupt")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("magic") != _MAGIC
+            or payload.get("format") != _FORMAT_VERSION
+            or payload.get("digest") != config_digest(config)
+        ):
+            _discard(path)
+            return miss("stale")
+        try:
+            archive = _decode_archive(payload["archive"])
+        except Exception:
+            _discard(path)
+            return miss("corrupt")
+        s.set_attrs(result="warm")
+        counter_add("archive_cache.loads", 1, result="warm")
+        return archive
 
 
 def _discard(path: Path) -> None:
@@ -398,23 +409,25 @@ def store_cached(
 ) -> Path:
     """Atomically write ``archive`` to the cache; returns the entry path."""
     path = cache_path(config, directory)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "magic": _MAGIC,
-        "format": _FORMAT_VERSION,
-        "digest": config_digest(config),
-        "archive": _encode_archive(archive),
-    }
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    except BaseException:
-        _discard(Path(tmp))
-        raise
+    with span("archive_cache.store", path=path.name):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "magic": _MAGIC,
+            "format": _FORMAT_VERSION,
+            "digest": config_digest(config),
+            "archive": _encode_archive(archive),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            _discard(Path(tmp))
+            raise
+        counter_add("archive_cache.stores", 1)
     return path
 
 
@@ -439,7 +452,11 @@ def cached_make_archive(
     if not refresh:
         archive = load_cached(config, directory)
         if archive is not None:
+            counter_add("archive_cache.requests", 1, result="warm")
             return archive
+    counter_add(
+        "archive_cache.requests", 1, result="refresh" if refresh else "cold"
+    )
     archive = make_archive(config, workers=workers)
     store_cached(config, archive, directory)
     return archive

@@ -15,6 +15,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..telemetry import counter_add
+
 
 class BootstrapError(ValueError):
     """Raised on invalid bootstrap inputs."""
@@ -82,6 +84,8 @@ def bootstrap_ci(
         raise BootstrapError(f"replicates must be >= 100, got {replicates}")
     if rng is None:
         rng = np.random.default_rng()
+    counter_add("bootstrap.calls", 1, kind="statistic")
+    counter_add("bootstrap.replicates", replicates, kind="statistic")
     estimate = float(statistic(x))
     reps = np.empty(replicates)
     n = x.size
@@ -154,6 +158,8 @@ def bootstrap_ratio_ci(
         raise BootstrapError(f"replicates must be >= 100, got {replicates}")
     if rng is None:
         rng = np.random.default_rng()
+    counter_add("bootstrap.calls", 1, kind="ratio")
+    counter_add("bootstrap.replicates", replicates, kind="ratio")
     p1 = successes1 / trials1
     p2 = successes2 / trials2
     estimate = p1 / p2

@@ -1,0 +1,26 @@
+"""Telemetry test isolation.
+
+Tracing and metrics are process-global switches; every test in this
+package starts and ends fully disabled with an empty registry so tests
+compose in any order (and leave no state behind for the rest of the
+suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+def _reset() -> None:
+    telemetry.finish_trace()
+    telemetry.set_metrics_enabled(False)
+    telemetry.reset_metrics()
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    _reset()
+    yield
+    _reset()

@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro import telemetry
 from repro.cli import build_parser, main
 from repro.records.io import save_archive
 
@@ -114,3 +116,85 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "Brier" in out
         assert "lift" in out
+
+
+class TestTelemetryCli:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self, monkeypatch):
+        monkeypatch.delenv(telemetry.ENV_MODE, raising=False)
+        monkeypatch.delenv(telemetry.ENV_TRACE_FILE, raising=False)
+        yield
+        telemetry.finish_trace()
+        telemetry.set_metrics_enabled(False)
+        telemetry.reset_metrics()
+
+    def test_report_trace_stdout_byte_identical(self, archive_dir, capsys):
+        assert main(["report", str(archive_dir)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["report", str(archive_dir), "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # telemetry never touches stdout
+        assert "span tree:" in captured.err
+        assert "io.load_archive" in captured.err
+        assert captured.err.count("report.section") == 10
+        assert "metrics:" in captured.err
+        assert "analysis_cache." in captured.err
+
+    def test_report_metrics_out(self, archive_dir, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["report", str(archive_dir), "--trace", "--metrics-out", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["analysis_cache.misses"] > 0
+
+    def test_report_manifest(self, archive_dir, tmp_path, capsys):
+        path = tmp_path / "report_manifest.json"
+        code = main(["report", str(archive_dir), "--manifest", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        manifest = telemetry.read_manifest(path)
+        assert manifest["command"] == "report"
+        assert manifest["archive_path"] == str(archive_dir)
+        assert manifest["timings_s"]["report_total_s"] > 0
+        assert manifest["timings_s"]["section.power_s"] >= 0
+        assert manifest["archive"]["analysis_cache"]["misses"] > 0
+
+    def test_generate_writes_manifest(self, tmp_path, capsys):
+        out = tmp_path / "arch"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--seed",
+                "7",
+                "--years",
+                "1.0",
+                "--scale",
+                "0.02",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = telemetry.read_manifest(out / "manifest.json")
+        assert manifest["command"] == "generate"
+        assert manifest["config"]["seed"] == 7
+        assert len(manifest["config"]["digest"]) == 64
+        assert manifest["archive"]["total_failures"] > 0
+        assert set(manifest["timings_s"]) == {"generate_s", "save_s"}
+
+    def test_trace_file_env_export(
+        self, archive_dir, tmp_path, capsys, monkeypatch
+    ):
+        trace_file = tmp_path / "run.jsonl"
+        monkeypatch.setenv(telemetry.ENV_MODE, "trace")
+        monkeypatch.setenv(telemetry.ENV_TRACE_FILE, str(trace_file))
+        assert main(["report", str(archive_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "span tree:" not in captured.err  # stderr tree needs --trace
+        records = telemetry.read_spans_jsonl(trace_file)
+        names = {r["name"] for r in records}
+        assert {"io.load_archive", "report.run", "report.section"} <= names
