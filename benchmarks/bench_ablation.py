@@ -12,14 +12,13 @@
   larger boost) and checking the measured correlations stay in band.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.correlations import pooled_baseline, same_node_any
 from repro.core.windows import sliding_baseline_counts
 from repro.records.timeutil import Span
 from repro.simulate.archive import make_archive
-from repro.simulate.config import EffectSizes, small_config
+from repro.simulate.config import EffectSizes
 from repro.stats.glm import fit_negative_binomial
 
 

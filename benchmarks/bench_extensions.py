@@ -7,7 +7,6 @@ downtime/availability accounting.  Each asserts the generator-injected
 ground truth is recovered.
 """
 
-import pytest
 
 from repro.core.downtime import (
     availability,

@@ -14,7 +14,6 @@ Paper targets:
   random in group-1 (~100X); group-2 4.2% -> 12.6%.
 """
 
-import pytest
 
 from repro.core.correlations import (
     hardware_detail,

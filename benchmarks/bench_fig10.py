@@ -14,7 +14,6 @@ Paper targets:
   UPS failure (we check large, ordered factors).
 """
 
-import pytest
 
 from repro.core.power import (
     hardware_component_impact,

@@ -6,10 +6,9 @@ month-window software outages following power problems are dominated by
 storage (DST, then PFS/CFS) rather than the operating system.
 """
 
-import pytest
 
 from repro.core.power import software_impact, software_subtype_impact
-from repro.records.taxonomy import EnvironmentSubtype, HardwareSubtype, SoftwareSubtype
+from repro.records.taxonomy import EnvironmentSubtype, SoftwareSubtype
 from repro.records.timeutil import Span
 
 

@@ -7,7 +7,6 @@ problem and correlate only within the same node (chronically weak PSUs).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.power import time_space_layout
 from repro.records.taxonomy import EnvironmentSubtype, HardwareSubtype

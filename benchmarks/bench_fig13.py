@@ -12,7 +12,6 @@ Paper targets:
   chillers move memory and node boards.
 """
 
-import pytest
 
 from repro.core.temperature import (
     fan_chiller_impact,

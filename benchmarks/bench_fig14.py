@@ -7,7 +7,6 @@ likely in high-flux months for systems 2, 18 and 19.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.cosmic import cosmic_ray_analysis
 from repro.records.taxonomy import HardwareSubtype

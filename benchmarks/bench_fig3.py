@@ -6,7 +6,6 @@ nodes' failure probability significantly (1.27X); group-2 22.5% -> 35.3%
 with network failures the biggest carrier (3.69X).
 """
 
-import pytest
 
 from repro.core.correlations import (
     same_rack_any,

@@ -6,7 +6,6 @@ hypothesis is rejected at 99% (p < 2.2e-16), and remains rejected after
 removing node 0.
 """
 
-import pytest
 
 from repro.core.nodes import failures_per_node
 from repro.simulate.config import FIG4_SYSTEMS

@@ -5,7 +5,6 @@ environment and network failures than the rest of the system, and their
 dominant failure mode shifts from hardware to software.
 """
 
-import pytest
 
 from repro.core.nodes import breakdown_comparison
 from repro.records.taxonomy import Category

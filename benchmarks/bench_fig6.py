@@ -6,7 +6,6 @@ type; the increase is extreme for environment (~2000X) and network
 and insignificant only for human errors.
 """
 
-import pytest
 
 from repro.core.nodes import per_type_equal_rates, prone_type_probabilities
 from repro.records.taxonomy import Category

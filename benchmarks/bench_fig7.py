@@ -7,7 +7,6 @@ when node 0 is removed.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.usage import usage_failure_correlation
 from repro.simulate.config import USAGE_SYSTEMS

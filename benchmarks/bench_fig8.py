@@ -6,7 +6,6 @@ the saturated Poisson model (per-user rates) beats the common-rate model
 under the ANOVA/likelihood-ratio test at 99% confidence.
 """
 
-import pytest
 
 from repro.core.users import user_failure_rates
 from repro.simulate.config import USAGE_SYSTEMS

@@ -4,7 +4,6 @@ Not a paper figure: tracks the cost of producing archives, so
 regressions in the day-stepped simulation show up in CI.
 """
 
-import pytest
 
 from repro.simulate.archive import make_archive
 from repro.simulate.config import small_config

@@ -9,7 +9,6 @@ cross-type level.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.correlations import pairwise_matrix
 from repro.records.taxonomy import Category

@@ -6,7 +6,9 @@ Subcommands:
 * ``validate`` -- run consistency checks over an archive directory;
 * ``report`` -- run every paper analysis and print the combined report;
 * ``section`` -- run one paper section's analysis;
-* ``advise`` -- checkpoint-interval advice from an archive's risk model.
+* ``advise`` -- checkpoint-interval advice from an archive's risk model;
+* ``lint`` -- run the project's AST-based invariant checker
+  (determinism / cache-safety / telemetry / concurrency rule packs).
 """
 
 from __future__ import annotations
@@ -166,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis rules (DET/CACHE/TEL/CONC)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+
+    p = sub.add_parser(
         "figures", help="render the paper's figures as ASCII charts"
     )
     _add_archive_arg(p)
@@ -229,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        from .lint.cli import run_lint_command
+
+        return run_lint_command(args)
     if args.command == "generate":
         config = ArchiveConfig(seed=args.seed, years=args.years, scale=args.scale)
         t0 = time.perf_counter()

@@ -20,12 +20,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..records.taxonomy import (
-    Category,
-    HardwareSubtype,
-    Subtype,
-    all_categories,
-)
+from ..records.taxonomy import Category, Subtype, all_categories
 from ..records.timeutil import ALL_SPANS, Span
 from ..stats.contingency import (
     ChiSquareResult,
@@ -35,7 +30,7 @@ from ..stats.contingency import (
 )
 from ..stats.proportion import TwoSampleResult, two_sample_z_test
 from .cache import get_cache, split_kind
-from .windows import Counts, compare, WindowComparison
+from .windows import Counts, compare
 
 
 class NodeAnalysisError(ValueError):

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..records.dataset import SystemDataset
-from ..stats.glm import Coefficient, GLMResult, fit_negative_binomial, fit_poisson
+from ..stats.glm import GLMResult, fit_negative_binomial, fit_poisson
 from .cache import get_cache
 
 

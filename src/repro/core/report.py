@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..records.dataset import Archive, HardwareGroup, SystemDataset
-from ..records.taxonomy import Category, format_label
+from ..records.taxonomy import format_label
 from ..records.timeutil import Span
 from ..stats.glm import GLMError
 from .. import telemetry

@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import lint_main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(lint_main())

@@ -1,0 +1,120 @@
+"""Committed JSON baselines for grandfathered findings.
+
+A baseline lets ``repro lint`` gate CI on *new* findings while known,
+deliberate ones (e.g. the CLI's wall-clock manifest timings) stay
+recorded instead of suppressed inline.  Entries are keyed by the
+line-independent fingerprint ``(rule, path, message)`` with a count, so
+unrelated edits that shift line numbers never invalidate the baseline
+-- but a *new* occurrence of the same finding in the same file does
+exceed the count and fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised on malformed baseline files."""
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts keyed by fingerprint."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        """Total number of grandfathered findings."""
+        return sum(self.counts.values())
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[tuple[tuple[str, str, str], int]]]:
+        """Split findings into (new, stale-baseline-entries).
+
+        For each fingerprint, up to the baselined count of findings is
+        absorbed (lowest line numbers first, so the reported remainder
+        is stable); anything beyond it is new.  Baseline entries whose
+        count is not fully consumed are *stale* -- the code they
+        grandfathered is gone and the baseline should be regenerated.
+        """
+        remaining = Counter(self.counts)
+        fresh: list[Finding] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col)):
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+            else:
+                fresh.append(finding)
+        stale = sorted(
+            (fp, count) for fp, count in remaining.items() if count > 0
+        )
+        return fresh, stale
+
+    def to_json(self) -> dict:
+        entries = []
+        for (rule, path, message), count in sorted(self.counts.items()):
+            entries.append(
+                {
+                    "rule": rule,
+                    "path": path,
+                    "message": message,
+                    "count": count,
+                }
+            )
+        return {
+            "version": BASELINE_VERSION,
+            "tool": "repro.lint",
+            "findings": entries,
+        }
+
+
+def baseline_from_findings(findings: Sequence[Finding]) -> Baseline:
+    """The baseline that exactly grandfathers ``findings``."""
+    return Baseline(Counter(f.fingerprint for f in findings))
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file (raises :class:`BaselineError` on junk)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"{path} is not a version-{BASELINE_VERSION} repro.lint baseline"
+        )
+    counts: Counter = Counter()
+    for entry in payload["findings"]:
+        try:
+            fingerprint = (entry["rule"], entry["path"], entry["message"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"malformed baseline entry {entry!r}") from exc
+        if count < 1:
+            raise BaselineError(f"non-positive count in entry {entry!r}")
+        counts[fingerprint] += count
+    return Baseline(counts)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Write the baseline grandfathering ``findings``; returns it."""
+    baseline = baseline_from_findings(findings)
+    Path(path).write_text(
+        json.dumps(baseline.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return baseline

@@ -1,0 +1,153 @@
+"""A conservative intra-package call graph over the analyzed file set.
+
+Built purely from the ASTs the engine already parsed:
+
+* nodes are module-level functions, keyed ``(module, name)`` (nested
+  ``def``s are flattened into their module's namespace; methods are
+  *not* modelled -- attribute calls on objects cannot be resolved
+  statically without type information, and guessing would drown real
+  findings in noise);
+* edges come from ``Call`` sites whose callee resolves through the
+  module's import map to another analyzed function: bare names (same
+  module or ``from x import f``) and one-level attribute calls on
+  imported modules (``mod.f()``).  Calls routed through lambdas defined
+  in the same function body count as that function's calls.
+
+"Conservative" cuts both ways: unresolvable calls (methods, dynamic
+dispatch, ``getattr``) contribute no edges, so reachability is a
+*lower* bound -- anything the graph proves reachable really is, which
+is exactly the direction a lint rule needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .context import ModuleContext
+
+#: A call-graph node: ``(dotted module, function name)``.
+FuncKey = tuple[str, str]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function and what the graph knows about it."""
+
+    key: FuncKey
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: set[FuncKey] = field(default_factory=set)
+
+
+class CallGraph:
+    """Lookup + reachability over :class:`FunctionInfo` nodes."""
+
+    def __init__(self, functions: dict[FuncKey, FunctionInfo]) -> None:
+        self.functions = functions
+
+    def reachable_from(
+        self, roots: Iterable[FuncKey]
+    ) -> dict[FuncKey, FuncKey | None]:
+        """BFS closure: reachable key -> predecessor (roots map to None)."""
+        parent: dict[FuncKey, FuncKey | None] = {}
+        frontier = [key for key in roots if key in self.functions]
+        for key in frontier:
+            parent.setdefault(key, None)
+        while frontier:
+            nxt: list[FuncKey] = []
+            for key in frontier:
+                for callee in sorted(self.functions[key].calls):
+                    if callee not in parent:
+                        parent[callee] = key
+                        nxt.append(callee)
+            frontier = nxt
+        return parent
+
+    def path_to(
+        self, key: FuncKey, parent: dict[FuncKey, FuncKey | None]
+    ) -> list[FuncKey]:
+        """Root-first call chain ending at ``key``."""
+        chain = [key]
+        while (prev := parent.get(chain[0])) is not None:
+            chain.insert(0, prev)
+        return chain
+
+
+def _module_functions(
+    ctx: ModuleContext,
+) -> Iterable[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Module-level and nested functions, flattened to bare names.
+
+    Class bodies are skipped entirely (methods are out of model).
+    """
+
+    def scan(stmts: Sequence[ast.stmt]):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt.name, stmt
+                yield from scan(stmt.body)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                for _, value in ast.iter_fields(stmt):
+                    if (
+                        isinstance(value, list)
+                        and value
+                        and isinstance(value[0], ast.stmt)
+                    ):
+                        yield from scan(value)
+
+    yield from scan(ctx.tree.body)
+
+
+def _callee_key(
+    ctx: ModuleContext,
+    call: ast.Call,
+    local_functions: set[str],
+    known: dict[FuncKey, FunctionInfo],
+) -> FuncKey | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in local_functions:
+            return (ctx.module, func.id)
+        target = ctx.imports.get(func.id)
+        if target:
+            module, _, name = target.rpartition(".")
+            if (module, name) in known:
+                return (module, name)
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        target = ctx.imports.get(func.value.id)
+        if target and (target, func.attr) in known:
+            return (target, func.attr)
+    return None
+
+
+def build_call_graph(contexts: Sequence[ModuleContext]) -> CallGraph:
+    """Assemble the graph over every function in ``contexts``."""
+    functions: dict[FuncKey, FunctionInfo] = {}
+    per_module: dict[str, set[str]] = {}
+    for ctx in contexts:
+        names = per_module.setdefault(ctx.module, set())
+        for name, node in _module_functions(ctx):
+            key = (ctx.module, name)
+            # Duplicate names (e.g. nested helpers shadowing) keep the
+            # first definition; the graph stays a conservative bound.
+            functions.setdefault(key, FunctionInfo(key=key, node=node))
+            names.add(name)
+    for ctx in contexts:
+        local = per_module.get(ctx.module, set())
+        for name, node in _module_functions(ctx):
+            info = functions[(ctx.module, name)]
+            if info.node is not node:
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    callee = _callee_key(ctx, sub, local, functions)
+                    if callee is not None and callee != info.key:
+                        info.calls.add(callee)
+    return CallGraph(functions)
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every bare ``Name`` referenced anywhere under ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}

@@ -1,0 +1,281 @@
+"""DET rule pack: determinism.
+
+The report pipeline guarantees byte-identical output for a given
+archive; these rules catch the three ways fresh code usually breaks
+that -- entropy-seeded RNGs, wall-clock reads, and iteration whose
+order the language does not define.
+
+* **DET001** -- unseeded RNG construction (``np.random.default_rng()``
+  with no/``None`` seed, the legacy ``numpy.random.*`` global-state
+  functions, stdlib ``random`` module functions and bare
+  ``random.Random()``) anywhere except ``repro/simulate/rng.py``, the
+  one module allowed to mint generators (from a root seed).
+* **DET002** -- wall-clock reads (``time.time``, ``perf_counter``,
+  ``datetime.now`` ...) outside ``repro/telemetry/``; timing belongs in
+  spans, not in analysis code.
+* **DET003** -- iteration over set displays/calls or unsorted
+  directory listings (``os.listdir``, ``Path.iterdir``, ``glob``),
+  whose order can differ between runs or hosts and therefore must not
+  feed report output.
+* **DET004** -- truthiness-based RNG fallback (``rng = rng or ...``);
+  use an explicit ``if rng is None`` so array-likes and stateful
+  generators are never coerced to bool.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding, FindingCollector, Severity
+from ..registry import register
+
+#: The only module allowed to construct generators without an explicit
+#: caller-supplied seed argument chain (it derives them from the root
+#: seed).
+RNG_FACTORY_MODULE = "repro.simulate.rng"
+
+#: Stdlib ``random`` module functions that consume the shared global
+#: (entropy-seeded) state.
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Legacy numpy global-state entry points (``np.random.rand`` etc.).
+_NUMPY_LEGACY_FNS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "gamma",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+_WALL_CLOCK_FNS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_LISTING_ATTRS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+_LISTING_FNS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+_ORDERING_WRAPPERS = frozenset({"sorted", "list.sort", "min", "max"})
+
+
+def _is_none(node: ast.AST | None) -> bool:
+    return node is None or (
+        isinstance(node, ast.Constant) and node.value is None
+    )
+
+
+def _unseeded_rng_call(ctx: ModuleContext, call: ast.Call) -> str | None:
+    """A message when ``call`` constructs/feeds entropy-seeded RNG state."""
+    resolved = ctx.resolve_call(call)
+    if resolved is None:
+        return None
+    if resolved == "numpy.random.default_rng":
+        seed = call.args[0] if call.args else None
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                seed = kw.value
+        if _is_none(seed):
+            return (
+                "unseeded np.random.default_rng() construction; pass an "
+                "explicit seed or Generator (derive defaults from a "
+                "documented seed, e.g. repro.stats.seeding.resolve_rng)"
+            )
+        return None
+    head, _, tail = resolved.rpartition(".")
+    if head == "numpy.random" and tail in _NUMPY_LEGACY_FNS:
+        return (
+            f"legacy numpy.random.{tail}() uses interpreter-global RNG "
+            "state; construct a seeded Generator instead"
+        )
+    if head == "random" and tail in _STDLIB_RANDOM_FNS:
+        return (
+            f"stdlib random.{tail}() draws from entropy-seeded global "
+            "state; use a seeded numpy Generator"
+        )
+    if resolved == "random.Random" and not call.args and not call.keywords:
+        return (
+            "random.Random() with no seed is entropy-seeded; pass an "
+            "explicit seed"
+        )
+    return None
+
+
+@register(
+    "DET001",
+    severity=Severity.ERROR,
+    summary="unseeded RNG construction outside simulate/rng.py",
+)
+def check_unseeded_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_package(RNG_FACTORY_MODULE):
+        return
+    out = FindingCollector(ctx.relpath)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            message = _unseeded_rng_call(ctx, node)
+            if message:
+                out.add("DET001", Severity.ERROR, node, message)
+    yield from out.findings
+
+
+@register(
+    "DET002",
+    severity=Severity.WARNING,
+    summary="wall-clock read outside telemetry/",
+)
+def check_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.package_part("telemetry"):
+        return
+    out = FindingCollector(ctx.relpath)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve_call(node)
+        if resolved in _WALL_CLOCK_FNS:
+            out.add(
+                "DET002",
+                Severity.WARNING,
+                node,
+                f"wall-clock read {resolved}() outside telemetry/; route "
+                "timing through telemetry spans so analysis output never "
+                "depends on the clock",
+            )
+    yield from out.findings
+
+
+def _iteration_message(ctx: ModuleContext, iter_node: ast.AST) -> str | None:
+    """A message when ``for ... in iter_node`` has unstable order."""
+    if isinstance(iter_node, (ast.Set, ast.SetComp)):
+        return (
+            "iteration over a set has hash-dependent order; sort it or "
+            "use an order-stable container before it feeds output"
+        )
+    if isinstance(iter_node, ast.Call):
+        resolved = ctx.resolve_call(iter_node)
+        if resolved in ("set", "frozenset"):
+            return (
+                "iteration over set()/frozenset() has hash-dependent "
+                "order; wrap in sorted()"
+            )
+        if resolved in _LISTING_FNS:
+            return (
+                f"{resolved}() returns entries in filesystem order; wrap "
+                "in sorted() before iterating"
+            )
+        if (
+            isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in _LISTING_ATTRS
+        ):
+            return (
+                f".{iter_node.func.attr}() yields entries in filesystem "
+                "order; wrap in sorted() before iterating"
+            )
+    return None
+
+
+@register(
+    "DET003",
+    severity=Severity.WARNING,
+    summary="iteration with undefined order (sets, unsorted listings)",
+)
+def check_unordered_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    out = FindingCollector(ctx.relpath)
+    iter_exprs: list[ast.AST] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iter_exprs.extend(gen.iter for gen in node.generators)
+    for expr in iter_exprs:
+        message = _iteration_message(ctx, expr)
+        if message:
+            out.add("DET003", Severity.WARNING, expr, message)
+    yield from out.findings
+
+
+@register(
+    "DET004",
+    severity=Severity.WARNING,
+    summary="truthiness-based RNG fallback (`rng = rng or ...`)",
+)
+def check_rng_truthiness_fallback(ctx: ModuleContext) -> Iterator[Finding]:
+    out = FindingCollector(ctx.relpath)
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target, value = node.targets[0], node.value
+        if not (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.BoolOp)
+            and isinstance(value.op, ast.Or)
+            and isinstance(value.values[0], ast.Name)
+            and value.values[0].id == target.id
+        ):
+            continue
+        fallback_has_rng = any(
+            isinstance(sub, ast.Call)
+            and ctx.resolve_call(sub) == "numpy.random.default_rng"
+            for operand in value.values[1:]
+            for sub in ast.walk(operand)
+        )
+        if fallback_has_rng or "rng" in target.id.lower():
+            out.add(
+                "DET004",
+                Severity.WARNING,
+                node,
+                f"truthiness fallback `{target.id} = {target.id} or ...` "
+                "for a generator; use an explicit `if "
+                f"{target.id} is None` so stateful/array-like values are "
+                "never coerced to bool",
+            )
+    yield from out.findings

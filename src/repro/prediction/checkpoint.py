@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..records.timeutil import Span
 from .risk import RecentFailure, RiskModel
 
 

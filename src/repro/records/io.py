@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .dataset import Archive, DatasetError, HardwareGroup, SystemDataset
 from .environment import NeutronReading, TemperatureReading
 from .failure import FailureRecord, MaintenanceRecord
 from .layout import MachineLayout, NodePlacement
-from .taxonomy import Category, Subtype, parse_category, parse_subtype
+from .taxonomy import Subtype, parse_category, parse_subtype
 from .timeutil import ObservationPeriod
 from .usage import JobRecord
 from ..telemetry import span

@@ -17,7 +17,6 @@ and the I/O layer.
 from __future__ import annotations
 
 import enum
-from typing import Iterable
 
 
 class Category(enum.Enum):

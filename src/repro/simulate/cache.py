@@ -19,9 +19,12 @@ disk:
   and materialised lazily on first access, so a warm load costs a few
   array reads instead of unpickling hundreds of thousands of record
   objects (see :class:`_LazyColumnarSystem`);
-* loads are corruption-tolerant: an unreadable, truncated or
-  wrong-format entry is treated as a miss (and deleted when possible),
-  never an error -- the archive is simply regenerated.
+* loads are corruption-tolerant for the *specific* I/O and
+  deserialization errors a bad entry can raise (see ``_LOAD_ERRORS`` /
+  ``_DECODE_ERRORS``): such an entry is treated as a miss (and deleted
+  when possible) and counted on the ``archive_cache.abandoned``
+  telemetry counter so swallowed corruption stays observable; anything
+  outside those error sets propagates.
 
 The cache directory defaults to ``$XDG_CACHE_HOME/hpcfail/archives``
 (``~/.cache/hpcfail/archives``) and can be overridden with the
@@ -53,6 +56,27 @@ _MAGIC = "hpcfail-archive"
 #: Bump when the pickle payload layout changes (not the archive schema:
 #: record-class changes already change unpickling behaviour).
 _FORMAT_VERSION = 2
+
+#: What a corrupted/foreign/stale pickle read can legitimately raise:
+#: I/O failures, every documented unpickling error (UnpicklingError,
+#: plus the EOF/attribute/import/index errors ``pickle.load`` is
+#: specified to leak on truncated or alien payloads) and ValueError
+#: for malformed primitive payloads.  Anything else -- MemoryError,
+#: KeyboardInterrupt, bugs -- propagates instead of being silently
+#: treated as a cache miss.
+_LOAD_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+)
+
+#: What decoding a (format-matching but inconsistent) payload dict can
+#: raise: missing/mistyped keys and malformed column arrays.
+_DECODE_ERRORS = (KeyError, TypeError, ValueError, AttributeError, IndexError)
 
 
 def cache_dir() -> Path:
@@ -371,27 +395,41 @@ def load_cached(
             counter_add("archive_cache.loads", 1, result=reason)
             return None
 
+        def abandoned(reason: str, exc: BaseException | None = None) -> None:
+            """A load that found an entry and had to throw it away.
+
+            Counted separately from plain misses so swallowed
+            corruption stays observable: ``archive_cache.abandoned``
+            is labelled with the failure stage and the exception class
+            that caused it.
+            """
+            counter_add(
+                "archive_cache.abandoned",
+                1,
+                stage=reason,
+                error=type(exc).__name__ if exc is not None else "none",
+            )
+            _discard(path)
+            return miss(reason)
+
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except FileNotFoundError:
             return miss("absent")
-        except Exception:
-            _discard(path)
-            return miss("corrupt")
+        except _LOAD_ERRORS as exc:
+            return abandoned("corrupt", exc)
         if (
             not isinstance(payload, dict)
             or payload.get("magic") != _MAGIC
             or payload.get("format") != _FORMAT_VERSION
             or payload.get("digest") != config_digest(config)
         ):
-            _discard(path)
-            return miss("stale")
+            return abandoned("stale")
         try:
             archive = _decode_archive(payload["archive"])
-        except Exception:
-            _discard(path)
-            return miss("corrupt")
+        except _DECODE_ERRORS as exc:
+            return abandoned("corrupt", exc)
         s.set_attrs(result="warm")
         counter_add("archive_cache.loads", 1, result="warm")
         return archive
@@ -420,13 +458,18 @@ def store_cached(
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
+        replaced = False
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
-            _discard(Path(tmp))
-            raise
+            replaced = True
+        finally:
+            # Cleanup, not error handling: the temp file must not
+            # outlive a failed write regardless of the exception type,
+            # and the exception itself always propagates.
+            if not replaced:
+                _discard(Path(tmp))
         counter_add("archive_cache.stores", 1)
     return path
 

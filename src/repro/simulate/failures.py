@@ -49,7 +49,6 @@ from ..records.taxonomy import (
     Category,
     EnvironmentSubtype,
     HardwareSubtype,
-    NetworkSubtype,
     SoftwareSubtype,
     Subtype,
 )

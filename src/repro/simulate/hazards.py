@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..records.taxonomy import Category
-from .config import CATEGORY_INDEX, EffectSizes, N_CATEGORIES
+from .config import EffectSizes, N_CATEGORIES
 
 
 def sample_downtime(

@@ -29,8 +29,7 @@ from functools import cached_property
 
 import numpy as np
 
-from ..records.timeutil import DAYS_PER_YEAR
-from .config import ArchiveConfig, ConfigError, SystemSpec
+from .config import ArchiveConfig, SystemSpec
 
 
 @dataclass(frozen=True, slots=True)

@@ -47,6 +47,7 @@ from .glm import (
     fit_negative_binomial,
     fit_poisson,
 )
+from .seeding import DEFAULT_SEED, resolve_rng
 from .proportion import (
     ProportionError,
     ProportionEstimate,
@@ -68,6 +69,7 @@ __all__ = [
     "ContingencyError",
     "CorrelationError",
     "CorrelationResult",
+    "DEFAULT_SEED",
     "DescriptiveError",
     "DistFitError",
     "DistributionFit",
@@ -93,6 +95,7 @@ __all__ = [
     "likelihood_ratio_test",
     "pearson",
     "rate_per",
+    "resolve_rng",
     "saturated_vs_common_rate",
     "share",
     "spearman",

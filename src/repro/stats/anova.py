@@ -12,14 +12,13 @@ rate data (:func:`saturated_vs_common_rate`) and for two fitted
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats as _scipy_stats
 from scipy.special import gammaln
 
-from .glm import GLMError, GLMResult
+from .glm import GLMResult
 
 
 class AnovaError(ValueError):

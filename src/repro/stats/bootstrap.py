@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from ..telemetry import counter_add
+from .seeding import resolve_rng
 
 
 class BootstrapError(ValueError):
@@ -73,7 +74,9 @@ def bootstrap_ci(
             ``statistic(samples, axis=1)`` for the vectorized path.
         confidence: CI level.
         replicates: number of resamples (>= 100 for a meaningful interval).
-        rng: numpy Generator; a fresh default one is created if omitted.
+        rng: numpy Generator; when omitted, a deterministic default
+            seeded with :data:`repro.stats.seeding.DEFAULT_SEED` is
+            used, so repeat calls are bit-identical.
     """
     x = np.asarray(data)
     if x.ndim != 1 or x.size < 2:
@@ -82,8 +85,7 @@ def bootstrap_ci(
         raise BootstrapError(f"confidence must be in (0, 1), got {confidence}")
     if replicates < 100:
         raise BootstrapError(f"replicates must be >= 100, got {replicates}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
     counter_add("bootstrap.calls", 1, kind="statistic")
     counter_add("bootstrap.replicates", replicates, kind="statistic")
     estimate = float(statistic(x))
@@ -156,8 +158,7 @@ def bootstrap_ratio_ci(
         raise BootstrapError(f"confidence must be in (0, 1), got {confidence}")
     if replicates < 100:
         raise BootstrapError(f"replicates must be >= 100, got {replicates}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
     counter_add("bootstrap.calls", 1, kind="ratio")
     counter_add("bootstrap.replicates", replicates, kind="ratio")
     p1 = successes1 / trials1

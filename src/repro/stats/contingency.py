@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from .seeding import resolve_rng
+
 
 class ContingencyError(ValueError):
     """Raised on invalid contingency inputs."""
@@ -158,7 +160,9 @@ def grouping_permutation_test(
         groups: group label per unit (e.g. the node's floor area).
         permutations: number of shuffles.
         alpha: significance level.
-        rng: numpy Generator (fresh default when omitted).
+        rng: numpy Generator; when omitted, a deterministic default
+            seeded with :data:`repro.stats.seeding.DEFAULT_SEED` is
+            used, so repeat calls are bit-identical.
 
     Returns:
         A :class:`PermutationTestResult`; a small p-value means the
@@ -190,7 +194,7 @@ def grouping_permutation_test(
         return float(((sums - expected) ** 2 / expected).sum())
 
     observed = statistic(c)
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     hits = 0
     shuffled = c.copy()
     for _ in range(permutations):

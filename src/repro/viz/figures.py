@@ -18,7 +18,7 @@ import numpy as np
 from ..core import correlations, cosmic, nodes, power, temperature, usage, users
 from ..records.dataset import Archive, HardwareGroup, SystemDataset
 from ..records.taxonomy import Category, format_label
-from ..records.timeutil import ALL_SPANS, Span
+from ..records.timeutil import Span
 from .ascii import (
     breakdown_chart,
     grouped_bar_chart,

@@ -1,6 +1,5 @@
 """Tests for Section IV analyses (failure-prone nodes)."""
 
-import numpy as np
 import pytest
 
 from repro.core.nodes import (

@@ -1,6 +1,5 @@
 """Tests for Section VII analyses (power problems)."""
 
-import numpy as np
 import pytest
 
 from repro.core.power import (
@@ -16,7 +15,6 @@ from repro.core.power import (
 )
 from repro.records.dataset import HardwareGroup, SystemDataset
 from repro.records.taxonomy import (
-    Category,
     EnvironmentSubtype,
     HardwareSubtype,
     SoftwareSubtype,

@@ -16,11 +16,7 @@ from repro.core.temperature import (
     thermal_component_impact,
 )
 from repro.records.dataset import Archive
-from repro.records.taxonomy import (
-    Category,
-    EnvironmentSubtype,
-    HardwareSubtype,
-)
+from repro.records.taxonomy import EnvironmentSubtype, HardwareSubtype
 from repro.records.timeutil import Span
 
 

@@ -7,7 +7,6 @@ streams (hypothesis).  Any disagreement is a bug in one of them.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

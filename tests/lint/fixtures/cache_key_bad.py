@@ -1,0 +1,13 @@
+"""CACHE002 bad: the memo key omits a parameter the compute uses."""
+
+from repro.core.cache import get_cache
+
+
+def node_summary(ds, clip_hours):
+    cache = get_cache(ds)
+    # next line: key omits clip_hours, so a new clip serves stale data
+    return cache.summary(("node_summary",), lambda: _summarize(ds, clip_hours))
+
+
+def _summarize(ds, clip_hours):
+    return [min(f.downtime_hours, clip_hours) for f in ds.failures]

@@ -1,0 +1,13 @@
+"""CACHE002 good: every parameter the compute uses is in the key."""
+
+from repro.core.cache import get_cache
+
+
+def node_summary(ds, clip_hours):
+    cache = get_cache(ds)
+    key = ("node_summary", clip_hours)
+    return cache.summary(key, lambda: _summarize(ds, clip_hours))
+
+
+def _summarize(ds, clip_hours):
+    return [min(f.downtime_hours, clip_hours) for f in ds.failures]

@@ -1,0 +1,18 @@
+"""CACHE001 bad: a grid consumer mutates its array arguments in place."""
+
+import numpy as np
+
+from repro.core.cache import get_cache, pooled_baseline_grid
+
+
+def conditioned_rates(ds, weights, kinds, spans):
+    grid = get_cache(ds).baseline_grid(kinds, spans)
+    weights[0] = 0.0  # line 10: item assignment on an argument
+    weights.sort()  # line 11: in-place sort of an argument
+    return grid
+
+
+def pooled_rates(systems, totals, kinds, spans):
+    grid = pooled_baseline_grid(systems, kinds, spans)
+    np.cumsum(totals, out=totals)  # line 17: out= targets an argument
+    return grid, totals

@@ -1,0 +1,19 @@
+"""CACHE001 good: grid consumers copy before writing."""
+
+import numpy as np
+
+from repro.core.cache import get_cache, pooled_baseline_grid
+
+
+def conditioned_rates(ds, weights, kinds, spans):
+    grid = get_cache(ds).baseline_grid(kinds, spans)
+    local = np.asarray(weights).copy()
+    local[0] = 0.0
+    local.sort()
+    return grid, local
+
+
+def pooled_rates(systems, totals, kinds, spans):
+    grid = pooled_baseline_grid(systems, kinds, spans)
+    summed = np.cumsum(totals)
+    return grid, summed

@@ -1,0 +1,18 @@
+"""CONC001 bad: pool-reachable code writes module-level state."""
+
+_RESULTS: dict = {}
+_TOTAL = 0
+
+
+def _tally(section, value):
+    global _TOTAL
+    _RESULTS[section] = value  # line 9: module-level dict write
+    _TOTAL += value  # line 10: global rebind
+    return value
+
+
+def render_demo(archive, fig4):
+    return str(_tally("demo", len(archive)))
+
+
+REPORT_SECTIONS = (("demo", lambda archive, fig4: render_demo(archive, fig4)),)

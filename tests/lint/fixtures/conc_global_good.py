@@ -1,0 +1,21 @@
+"""CONC001 good: pool-reachable code keeps its state local."""
+
+_LIMITS = {"demo": 10}
+
+
+def _tally(section, value):
+    results = {}
+    results[section] = min(value, _LIMITS["demo"])  # read-only global use
+    return results[section]
+
+
+def render_demo(archive, fig4):
+    return str(_tally("demo", len(archive)))
+
+
+def write_elsewhere(value):
+    # Writes module state but is NOT reachable from the section pool.
+    _LIMITS["demo"] = value
+
+
+REPORT_SECTIONS = (("demo", lambda archive, fig4: render_demo(archive, fig4)),)

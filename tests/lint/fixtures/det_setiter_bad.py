@@ -1,0 +1,12 @@
+"""DET003 bad: iteration whose order the language does not define."""
+
+import os
+
+
+def report_kinds(kinds):
+    lines = []
+    for kind in {k.upper() for k in kinds}:  # line 8: set comprehension
+        lines.append(kind)
+    for name in os.listdir("archive"):  # line 10: filesystem order
+        lines.append(name)
+    return [entry for entry in set(lines)]  # line 12: set() call

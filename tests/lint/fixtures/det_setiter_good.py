@@ -1,0 +1,12 @@
+"""DET003 good: the same traversals with a defined order."""
+
+import os
+
+
+def report_kinds(kinds):
+    lines = []
+    for kind in sorted({k.upper() for k in kinds}):
+        lines.append(kind)
+    for name in sorted(os.listdir("archive")):
+        lines.append(name)
+    return sorted(set(lines))

@@ -1,0 +1,8 @@
+"""DET004 bad: truthiness-based generator fallback."""
+
+import numpy as np
+
+
+def resample(data, rng=None):
+    rng = rng or np.random.default_rng(2013)  # line 7: truthiness fallback
+    return data[rng.integers(0, len(data), size=len(data))]

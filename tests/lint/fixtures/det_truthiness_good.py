@@ -1,0 +1,9 @@
+"""DET004 good: explicit None check for the generator fallback."""
+
+import numpy as np
+
+
+def resample(data, rng=None):
+    if rng is None:
+        rng = np.random.default_rng(2013)
+    return data[rng.integers(0, len(data), size=len(data))]

@@ -1,0 +1,22 @@
+"""DET001 bad: entropy-seeded RNG construction, four flavours."""
+
+import random
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng()  # line 9: unseeded construction
+
+
+def explicit_none():
+    return np.random.default_rng(None)  # line 13: None seed
+
+
+def legacy_global_state(n):
+    return np.random.rand(n)  # line 17: legacy numpy global RNG
+
+
+def stdlib_global_state(items):
+    random.shuffle(items)  # line 21: stdlib global RNG
+    return items

@@ -1,0 +1,21 @@
+"""DET001 good: every generator is explicitly or deterministically seeded."""
+
+import random
+
+import numpy as np
+
+
+def fresh_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def keyword_seed():
+    return np.random.default_rng(seed=7)
+
+
+def local_instance():
+    return random.Random(13)
+
+
+def generator_draw(rng: np.random.Generator, n):
+    return rng.normal(size=n)

@@ -1,0 +1,10 @@
+"""DET002 bad: wall-clock reads in analysis code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_rows(rows):
+    started = time.perf_counter()  # line 8: monotonic clock read
+    now = datetime.now()  # line 9: wall clock read
+    return [(now, started, row) for row in rows]

@@ -1,0 +1,17 @@
+"""Suppression fixture: every violation carries a matching noqa."""
+
+import time
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng()  # repro: noqa DET001
+
+
+def stamp():
+    return time.time()  # repro: noqa
+
+
+def mismatched():
+    return np.random.default_rng()  # repro: noqa DET002

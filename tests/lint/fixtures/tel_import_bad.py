@@ -1,0 +1,16 @@
+"""TEL002 bad: telemetry side effects at import time."""
+
+import os
+
+from repro import telemetry
+from repro.telemetry import enable_metrics
+
+enable_metrics()  # line 8: flips global state on import
+telemetry.counter_add("module.imported", 1)  # line 9: records on import
+
+if os.environ.get("DEBUG"):
+    telemetry.start_trace()  # line 12: conditional, still import time
+
+
+def analyze(rows):
+    return len(rows)

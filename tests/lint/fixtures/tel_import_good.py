@@ -1,0 +1,14 @@
+"""TEL002 good: telemetry effects stay inside entry points."""
+
+from repro import telemetry
+from repro.telemetry import enable_metrics
+
+
+def main() -> int:
+    telemetry.configure_from_env()
+    enable_metrics()
+    telemetry.counter_add("runs", 1)
+    return 0
+
+
+RENDERERS = (("noop", lambda rows: telemetry.counter_add("rows", len(rows))),)

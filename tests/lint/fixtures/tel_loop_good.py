@@ -1,0 +1,12 @@
+"""TEL001 good: guarded module-level wrappers, hoisted out of the loop."""
+
+from repro.telemetry import counter_add, observe
+
+
+def count_events(events):
+    total = 0
+    for _ in events:
+        total += 1
+    counter_add("events.seen", total)
+    observe("events.batch", total)
+    return total

@@ -5,7 +5,6 @@ import pytest
 from repro.core.windows import Scope
 from repro.prediction.risk import RecentFailure, RiskModel, RiskModelError
 from repro.records.taxonomy import Category
-from repro.records.timeutil import Span
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Unit tests for dataset containers and the columnar failure table."""
 
-import numpy as np
 import pytest
 
 from repro.records.dataset import (
@@ -12,7 +11,7 @@ from repro.records.dataset import (
 )
 from repro.records.failure import FailureRecord
 from repro.records.layout import regular_layout
-from repro.records.taxonomy import Category, HardwareSubtype, SoftwareSubtype
+from repro.records.taxonomy import Category, HardwareSubtype
 from repro.records.timeutil import ObservationPeriod
 
 

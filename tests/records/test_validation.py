@@ -1,6 +1,5 @@
 """Tests for archive validation checks."""
 
-import pytest
 
 from repro.records.dataset import Archive, HardwareGroup, SystemDataset
 from repro.records.failure import FailureRecord

@@ -1,13 +1,10 @@
 """Tests for end-to-end archive generation."""
 
-import numpy as np
-import pytest
 
 from repro.records.dataset import HardwareGroup
 from repro.records.taxonomy import Category
 from repro.records.validation import validate_archive
-from repro.simulate.archive import make_archive, quick_archive
-from repro.simulate.config import small_config
+from repro.simulate.archive import quick_archive
 
 
 class TestMakeArchive:

@@ -1,6 +1,5 @@
 """Tests for generator configuration."""
 
-import dataclasses
 
 import pytest
 

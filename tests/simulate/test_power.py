@@ -1,7 +1,6 @@
 """Tests for the stressor event processes."""
 
 import numpy as np
-import pytest
 
 from repro.records.dataset import HardwareGroup
 from repro.records.taxonomy import (

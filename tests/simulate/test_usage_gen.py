@@ -1,7 +1,6 @@
 """Tests for the job-log generator."""
 
 import numpy as np
-import pytest
 
 from repro.records.dataset import HardwareGroup
 from repro.simulate.config import ArchiveConfig, SystemSpec

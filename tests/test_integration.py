@@ -4,7 +4,6 @@ These check that the complete pipeline recovers the paper's headline
 findings from an archive that went through the on-disk format.
 """
 
-from pathlib import Path
 
 import pytest
 

@@ -5,7 +5,6 @@ arbitrary record combinations, risk-model monotonicity, GLM invariances,
 and chart totality over arbitrary analysis outputs.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the ASCII chart primitives."""
 
-import numpy as np
 import pytest
 
 from repro.viz.ascii import (

@@ -1,6 +1,5 @@
 """Tests for the paper-figure renderers."""
 
-import pytest
 
 from repro.records.dataset import Archive, HardwareGroup
 from repro.viz import (
