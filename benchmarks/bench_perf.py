@@ -22,7 +22,11 @@ how *fast* the pipeline is, writing the measurements to
   asserted byte-identical before timings are recorded;
 * **telemetry no-op** -- the disabled span+counter fast path, timed
   before ``REPRO_TELEMETRY`` is applied and guarded by
-  ``check_perf_regression.py`` so instrumentation stays free when off.
+  ``check_perf_regression.py`` so instrumentation stays free when off;
+* **streaming** -- a full archive replay through the online analysis
+  consumer (``stream_replay_s``, with the derived ``stream_ingest_eps``
+  throughput rate-guarded in CI) and one checkpoint write + restore
+  round trip of the final state (``checkpoint_roundtrip_s``).
 
 With ``REPRO_TELEMETRY=trace`` and ``REPRO_TRACE_FILE`` set (as in CI)
 the run's span tree is exported as JSONL, and the metrics snapshot is
@@ -62,6 +66,13 @@ from repro.simulate.archive import make_archive
 from repro.simulate.cache import load_cached, store_cached
 from repro.simulate.config import small_config
 from repro.simulate.failures import GENERATOR_VERSION
+from repro.stream import (
+    OnlineAnalysis,
+    StreamAnalysisState,
+    load_checkpoint,
+    replay_archive,
+    write_checkpoint,
+)
 
 #: Benchmark archive parameters (keep in sync with benchmarks/conftest.py).
 BENCH_SEED = 46
@@ -206,6 +217,36 @@ def run(args: argparse.Namespace) -> dict:
     print(f"pairwise analysis (cold): {timings['analysis_cold_s']:8.2f} s")
     print(f"pairwise analysis (warm): {timings['analysis_warm_s']:8.2f} s")
 
+    # Streaming: replay the whole archive through the online consumer
+    # (incremental counters + per-batch risk refresh), then round-trip
+    # the final state through one checkpoint write + restore.
+    def stream_replay():
+        consumer = OnlineAnalysis(StreamAnalysisState())
+        replay_archive(archive, consumer, batch_size=1024)
+        return consumer
+
+    timings["stream_replay_s"], stream_consumer = _timed(stream_replay)
+    stream_events = stream_consumer.totals.accepted
+    print(
+        f"stream replay:            {timings['stream_replay_s']:8.2f} s "
+        f"({stream_events} events)"
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-perf-ckpt-") as ckpt_tmp:
+
+        def checkpoint_roundtrip():
+            write_checkpoint(stream_consumer.state, Path(ckpt_tmp))
+            return load_checkpoint(Path(ckpt_tmp))
+
+        timings["checkpoint_roundtrip_s"], restored = _timed(
+            checkpoint_roundtrip
+        )
+        assert (
+            restored.digest() == stream_consumer.state.digest()
+        ), "checkpoint round trip changed the streaming state"
+    print(
+        f"checkpoint round trip:    {timings['checkpoint_roundtrip_s']:8.2f} s"
+    )
+
     cold_best = min(
         timings["cold_serial_s"],
         timings.get("cold_parallel_s", float("inf")),
@@ -218,12 +259,15 @@ def run(args: argparse.Namespace) -> dict:
         / max(timings["report_cold_s"], 1e-9),
         "report_warm_vs_percell_speedup": timings["report_percell_s"]
         / max(timings["report_warm_s"], 1e-9),
+        "stream_ingest_eps": stream_events
+        / max(timings["stream_replay_s"], 1e-9),
     }
     if "cold_parallel_s" in timings:
         derived["parallel_vs_serial_speedup"] = (
             timings["cold_serial_s"] / timings["cold_parallel_s"]
         )
     print(f"warm vs cold speedup:     {derived['warm_vs_cold_speedup']:8.1f}x")
+    print(f"stream ingest rate:       {derived['stream_ingest_eps']:8.0f} events/s")
     print(
         f"report warm vs per-cell:  "
         f"{derived['report_warm_vs_percell_speedup']:8.1f}x"

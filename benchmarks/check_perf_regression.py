@@ -2,14 +2,21 @@
 """Fail CI when the memoized report path regresses against the baseline.
 
 Compares a fresh ``bench_perf.py --smoke`` measurement against the
-committed smoke baseline (``BENCH_PERF_SMOKE.json``).  Two numbers are
-guarded, each within ``--factor`` (default 2x) of its baseline:
+committed smoke baseline (``BENCH_PERF_SMOKE.json``).  Guarded timings
+must stay within ``--factor`` (default 2x) of their baseline:
 
 * ``report_warm_s`` -- the fully memoized ``full_report`` run, the
   headline win of the analysis-cache work;
 * ``telemetry_noop_s`` -- the disabled-telemetry fast path (100k
   span+counter pairs), so instrumentation that stops being free when
-  switched off fails the build.
+  switched off fails the build;
+* ``checkpoint_roundtrip_s`` -- one streaming-state checkpoint write +
+  restore round trip.
+
+Guarded *rates* are lower-bounded at baseline / ``--factor``:
+
+* ``stream_ingest_eps`` -- streaming events/second through the online
+  analysis consumer over a full archive replay.
 
 A small absolute slack absorbs timer noise on very fast runs so
 sub-100ms jitter cannot flap the build.
@@ -28,7 +35,11 @@ import sys
 from pathlib import Path
 
 #: Timings guarded against regression (all from the smoke configuration).
-GUARDED = ("report_warm_s", "telemetry_noop_s")
+GUARDED = ("report_warm_s", "telemetry_noop_s", "checkpoint_roundtrip_s")
+
+#: Derived rates guarded against regression (higher is better, so the
+#: bound is a floor at baseline / factor rather than a ceiling).
+RATE_GUARDED = ("stream_ingest_eps",)
 
 
 def check(
@@ -53,6 +64,18 @@ def check(
             problems.append(
                 f"{key}: {cur:.4f}s exceeds {limit:.4f}s "
                 f"(baseline {base:.4f}s x {factor:g} + {slack_s:g}s slack)"
+            )
+    for key in RATE_GUARDED:
+        base = baseline.get("derived", {}).get(key)
+        cur = current.get("derived", {}).get(key)
+        if base is None or cur is None:
+            problems.append(f"{key}: missing from {'baseline' if base is None else 'current run'}")
+            continue
+        floor = base / factor
+        if cur < floor:
+            problems.append(
+                f"{key}: {cur:.0f}/s below {floor:.0f}/s "
+                f"(baseline {base:.0f}/s / {factor:g})"
             )
     return problems
 
@@ -92,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{key}: {current['timings_s'][key]:.4f}s "
             f"(baseline {baseline['timings_s'][key]:.4f}s) OK"
+        )
+    for key in RATE_GUARDED:
+        print(
+            f"{key}: {current['derived'][key]:.0f}/s "
+            f"(baseline {baseline['derived'][key]:.0f}/s) OK"
         )
     return 0
 

@@ -8,7 +8,11 @@ Subcommands:
 * ``section`` -- run one paper section's analysis;
 * ``advise`` -- checkpoint-interval advice from an archive's risk model;
 * ``lint`` -- run the project's AST-based invariant checker
-  (determinism / cache-safety / telemetry / concurrency rule packs).
+  (determinism / cache-safety / telemetry / concurrency rule packs);
+* ``stream`` -- online failure-log ingestion: replay an archive (or
+  tail a JSONL log, or run a synthetic live feed) through the
+  incremental analysis state with checkpoint/restore, alerts and
+  replay-vs-batch verification.
 """
 
 from __future__ import annotations
@@ -176,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p)
 
     p = sub.add_parser(
+        "stream",
+        help="online ingestion with incremental analysis and checkpoints",
+    )
+    from .stream.cli import add_stream_arguments
+
+    add_stream_arguments(p)
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
         "figures", help="render the paper's figures as ASCII charts"
     )
     _add_archive_arg(p)
@@ -202,6 +215,9 @@ def _setup_telemetry(args: argparse.Namespace) -> None:
     if getattr(args, "trace", False):
         if not telemetry.tracing():
             telemetry.start_trace()
+        telemetry.enable_metrics()
+    elif getattr(args, "metrics_out", None) is not None:
+        # --metrics-out alone should produce a useful snapshot.
         telemetry.enable_metrics()
 
 
@@ -243,6 +259,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .lint.cli import run_lint_command
 
         return run_lint_command(args)
+    if args.command == "stream":
+        from .stream.cli import run_stream_command
+
+        return run_stream_command(args)
     if args.command == "generate":
         config = ArchiveConfig(seed=args.seed, years=args.years, scale=args.scale)
         t0 = time.perf_counter()

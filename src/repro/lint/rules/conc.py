@@ -1,22 +1,27 @@
-"""CONC rule pack: concurrency under the report section pool.
+"""CONC rule pack: concurrency under the project's thread roots.
 
 ``full_report`` renders its sections on a thread pool
-(``core/report.py``), and the bit-identity guarantee assumes sections
-only share the per-system ``AnalysisCache`` (GIL-guarded, last-write-
-wins by design) and the lock-guarded telemetry registry.  Any *other*
-module-level mutable state written by code the pool can reach is a
-data race and an ordering hazard.
+(``core/report.py``), and the streaming ingest pipeline drains a
+bounded queue on the consumer thread while a producer thread feeds it
+(``stream/ingest.py``).  The bit-identity guarantee assumes threaded
+code only shares the per-system ``AnalysisCache`` (GIL-guarded,
+last-write-wins by design) and the lock-guarded telemetry registry.
+Any *other* module-level mutable state written by code a thread root
+can reach is a data race and an ordering hazard.
 
-* **CONC001** -- a function reachable from the report section pool
-  (via the conservative intra-package call graph in
+* **CONC001** -- a function reachable from a concurrency root (via the
+  conservative intra-package call graph in
   :mod:`repro.lint.callgraph`) writes to module-level state: a
   ``global`` rebind, an item/attribute assignment on a module-level
   name, or a mutating method call (``append``/``update``/...) on one.
 
-Roots are discovered statically: every function referenced by a
-module's ``REPORT_SECTIONS`` table plus the ``render_*`` functions
-defined alongside it.  Modules under ``telemetry/`` are exempt as
-write *sites* (the registry serialises its mutations behind a lock).
+Roots are discovered statically from two tables: every function
+referenced by a module's ``REPORT_SECTIONS`` table plus the
+``render_*`` functions defined alongside it (the report pool), and
+every function referenced by a ``STREAM_CONSUMER_ROOTS`` table (the
+ingest pipeline's producer/consumer entry points).  Modules under
+``telemetry/`` are exempt as write *sites* (the registry serialises
+its mutations behind a lock).
 """
 
 from __future__ import annotations
@@ -49,10 +54,12 @@ MUTATING_METHODS = frozenset(
     }
 )
 
-#: The table naming the pool's entry points.
+#: The table naming the report pool's entry points.
 SECTIONS_TABLE = "REPORT_SECTIONS"
-#: Renderer naming convention rooted alongside the table.
+#: Renderer naming convention rooted alongside the sections table.
 RENDER_PREFIX = "render_"
+#: The table naming the stream ingest pipeline's thread entry points.
+CONSUMER_TABLE = "STREAM_CONSUMER_ROOTS"
 
 
 def _module_globals(ctx: ModuleContext) -> set[str]:
@@ -169,39 +176,55 @@ def _global_writes(
                     yield node, name or "?", "del statement"
 
 
-def _pool_roots(contexts: Sequence[ModuleContext]) -> list[FuncKey]:
-    """Functions the report section pool enters, found statically."""
-    roots: list[FuncKey] = []
+def _table_value(ctx: ModuleContext, table_name: str) -> ast.expr | None:
+    """The value assigned to ``table_name`` at module top level, if any."""
+    table = None
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == table_name
+            for t in stmt.targets
+        ):
+            table = stmt.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == table_name
+            and stmt.value is not None
+        ):
+            table = stmt.value
+    return table
+
+
+def _pool_roots(contexts: Sequence[ModuleContext]) -> dict[FuncKey, str]:
+    """Concurrency entry points, found statically.
+
+    Maps each root function to a description of the threading context
+    that enters it ("the report section pool" or "the stream consumer
+    loop"); a function rooted by both tables keeps the pool label.
+    """
+    roots: dict[FuncKey, str] = {}
+
+    def add(key: FuncKey, descr: str) -> None:
+        roots.setdefault(key, descr)
+
     for ctx in contexts:
-        table = None
-        for stmt in ctx.tree.body:
-            if isinstance(stmt, ast.Assign) and any(
-                isinstance(t, ast.Name) and t.id == SECTIONS_TABLE
-                for t in stmt.targets
-            ):
-                table = stmt.value
-            elif (
-                isinstance(stmt, ast.AnnAssign)
-                and isinstance(stmt.target, ast.Name)
-                and stmt.target.id == SECTIONS_TABLE
-                and stmt.value is not None
-            ):
-                table = stmt.value
-        if table is None:
-            continue
-        referenced = names_in(table)
         module_defs = {
             stmt.name
             for stmt in ctx.tree.body
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
-        roots.extend((ctx.module, name) for name in sorted(referenced & module_defs))
-        roots.extend(
-            (ctx.module, name)
-            for name in sorted(module_defs)
-            if name.startswith(RENDER_PREFIX)
-        )
-    return sorted(set(roots))
+        sections = _table_value(ctx, SECTIONS_TABLE)
+        if sections is not None:
+            for name in sorted(names_in(sections) & module_defs):
+                add((ctx.module, name), "the report section pool")
+            for name in sorted(module_defs):
+                if name.startswith(RENDER_PREFIX):
+                    add((ctx.module, name), "the report section pool")
+        consumers = _table_value(ctx, CONSUMER_TABLE)
+        if consumers is not None:
+            for name in sorted(names_in(consumers) & module_defs):
+                add((ctx.module, name), "the stream consumer loop")
+    return roots
 
 
 @register(
@@ -217,7 +240,7 @@ def check_pool_reachable_global_writes(
     if not roots:
         return
     graph = build_call_graph(contexts)
-    reachable = graph.reachable_from(roots)
+    reachable = graph.reachable_from(sorted(roots))
     by_module = {ctx.module: ctx for ctx in contexts}
     globals_cache: dict[str, set[str]] = {}
     for key in sorted(reachable):
@@ -229,7 +252,9 @@ def check_pool_reachable_global_writes(
         if module not in globals_cache:
             globals_cache[module] = _module_globals(ctx)
         out = FindingCollector(ctx.relpath)
-        chain = " -> ".join(f"{m}:{f}" for m, f in graph.path_to(key, reachable))
+        path = graph.path_to(key, reachable)
+        chain = " -> ".join(f"{m}:{f}" for m, f in path)
+        root_descr = roots.get(path[0], "the report section pool")
         for node, global_name, how in _global_writes(
             info.node, globals_cache[module]
         ):
@@ -238,9 +263,9 @@ def check_pool_reachable_global_writes(
                 Severity.ERROR,
                 node,
                 f"function '{name}' writes module-level state "
-                f"'{global_name}' ({how}) and is reachable from the "
-                f"report section pool via {chain}; shared mutable state "
-                "under the pool races -- move it into AnalysisCache or "
-                "pass it explicitly",
+                f"'{global_name}' ({how}) and is reachable from "
+                f"{root_descr} via {chain}; shared mutable state "
+                "under concurrency races -- move it into AnalysisCache "
+                "or pass it explicitly",
             )
         yield from out.findings

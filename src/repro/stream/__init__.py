@@ -1,0 +1,124 @@
+"""Online failure-log ingestion with incremental analysis state.
+
+The streaming subsystem mirrors the batch window engine incrementally:
+events flow from a pluggable source (archive replay, JSONL tail,
+synthetic live feed) through a bounded queue into
+:class:`StreamAnalysisState`, which maintains the same conditional /
+baseline count grids :mod:`repro.core.windows` computes in batch --
+with an exactness guarantee (see :func:`verify_equivalence`), versioned
+checkpoint/restore, online risk scoring and threshold alerts.
+"""
+
+from .alerts import (
+    Alert,
+    AlertEngine,
+    AlertError,
+    AlertRule,
+    CategoryBurstRule,
+    NodeRiskRule,
+    render_alerts,
+)
+from .analysis import (
+    NodeRisk,
+    OnlineAnalysis,
+    StreamAnalysisError,
+    node_risks,
+    pooled_baseline,
+    pooled_conditional,
+    risk_model_from_state,
+)
+from .events import (
+    KIND_FAILURE,
+    StreamEvent,
+    StreamEventError,
+    WatermarkClock,
+    failure_event,
+)
+from .ingest import (
+    BackpressurePolicy,
+    BoundedQueue,
+    EventConsumer,
+    IngestError,
+    IngestPipeline,
+    archive_event_id,
+    archive_source,
+    consume_loop,
+    jsonl_source,
+    produce,
+    synthetic_source,
+)
+from .replay import (
+    EquivalenceReport,
+    Pacer,
+    ReplayResult,
+    replay_and_verify,
+    replay_archive,
+    verify_equivalence,
+)
+from .state import (
+    ANY_CODE,
+    CHECKPOINT_VERSION,
+    BatchStats,
+    CheckpointInfo,
+    Checkpointer,
+    StreamAnalysisConfig,
+    StreamAnalysisState,
+    StreamStateError,
+    StreamingEventIndex,
+    SystemStreamState,
+    latest_checkpoint_sequence,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "ANY_CODE",
+    "Alert",
+    "AlertEngine",
+    "AlertError",
+    "AlertRule",
+    "BackpressurePolicy",
+    "BatchStats",
+    "BoundedQueue",
+    "CHECKPOINT_VERSION",
+    "CategoryBurstRule",
+    "CheckpointInfo",
+    "Checkpointer",
+    "EquivalenceReport",
+    "EventConsumer",
+    "IngestError",
+    "IngestPipeline",
+    "KIND_FAILURE",
+    "NodeRisk",
+    "NodeRiskRule",
+    "OnlineAnalysis",
+    "Pacer",
+    "ReplayResult",
+    "StreamAnalysisConfig",
+    "StreamAnalysisError",
+    "StreamAnalysisState",
+    "StreamEvent",
+    "StreamEventError",
+    "StreamStateError",
+    "StreamingEventIndex",
+    "SystemStreamState",
+    "WatermarkClock",
+    "archive_event_id",
+    "archive_source",
+    "consume_loop",
+    "failure_event",
+    "jsonl_source",
+    "latest_checkpoint_sequence",
+    "load_checkpoint",
+    "node_risks",
+    "pooled_baseline",
+    "pooled_conditional",
+    "produce",
+    "render_alerts",
+    "replay_and_verify",
+    "replay_archive",
+    "risk_model_from_state",
+    "synthetic_source",
+    "verify_equivalence",
+    "write_checkpoint",
+]

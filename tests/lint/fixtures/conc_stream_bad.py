@@ -1,0 +1,21 @@
+"""CONC001 bad: stream-consumer-reachable code writes module state."""
+
+_SEEN: dict = {}
+_PROCESSED = 0
+
+
+def _record(event):
+    global _PROCESSED
+    _SEEN[event] = True  # line 9: module-level dict write
+    _PROCESSED += 1  # line 10: global rebind
+    return event
+
+
+def consume_loop(queue):
+    batch = queue.get()
+    for event in batch:
+        _record(event)
+    return len(batch)
+
+
+STREAM_CONSUMER_ROOTS = (consume_loop,)

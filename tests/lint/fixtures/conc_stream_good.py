@@ -1,0 +1,17 @@
+"""CONC001 good: stream-consumer-reachable code keeps state local."""
+
+
+def _record(seen, event):
+    seen[event] = True
+    return event
+
+
+def consume_loop(queue):
+    seen: dict = {}
+    batch = queue.get()
+    for event in batch:
+        _record(seen, event)
+    return len(seen)
+
+
+STREAM_CONSUMER_ROOTS = (consume_loop,)

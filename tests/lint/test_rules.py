@@ -66,6 +66,7 @@ BAD_CASES = [
         [("TEL002", 8), ("TEL002", 9), ("TEL002", 12)],
     ),
     ("conc_global_bad.py", "CONC", [("CONC001", 9), ("CONC001", 10)]),
+    ("conc_stream_bad.py", "CONC", [("CONC001", 9), ("CONC001", 10)]),
 ]
 
 
@@ -100,6 +101,7 @@ class TestGoodFixtures:
             ("tel_loop_good.py", "TEL001"),
             ("tel_import_good.py", "TEL002"),
             ("conc_global_good.py", "CONC"),
+            ("conc_stream_good.py", "CONC"),
         ],
     )
     def test_good_fixture_is_clean(self, name, selector):
@@ -125,3 +127,9 @@ class TestFindingShape:
         assert "render_demo" in first.message
         assert "_tally" in first.message
         assert "report section pool" in first.message
+
+    def test_conc_stream_message_names_the_consumer_root(self):
+        (first, _) = lint_fixture("conc_stream_bad.py", "CONC")
+        assert "consume_loop" in first.message
+        assert "_record" in first.message
+        assert "stream consumer loop" in first.message

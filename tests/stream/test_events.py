@@ -1,0 +1,135 @@
+"""Event envelope: validation, JSON round trip, watermark clock."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.records.taxonomy import Category, HardwareSubtype
+from repro.stream import StreamEvent, StreamEventError, WatermarkClock
+
+
+class TestStreamEvent:
+    def test_minimal_event(self):
+        ev = StreamEvent(time=1.5, system_id=2, node_id=3, event_id="e1")
+        assert ev.kind == "failure"
+        assert ev.category is None
+
+    def test_subtype_implies_category(self):
+        ev = StreamEvent(
+            time=0.0,
+            system_id=0,
+            node_id=0,
+            event_id="e1",
+            subtype=HardwareSubtype.CPU,
+        )
+        assert ev.category is Category.HARDWARE
+
+    def test_subtype_category_mismatch_rejected(self):
+        with pytest.raises(StreamEventError):
+            StreamEvent(
+                time=0.0,
+                system_id=0,
+                node_id=0,
+                event_id="e1",
+                category=Category.NETWORK,
+                subtype=HardwareSubtype.CPU,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"event_id": ""},
+            {"time": math.nan},
+            {"time": math.inf},
+            {"node_id": -1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        base = dict(time=0.0, system_id=0, node_id=0, event_id="e1")
+        base.update(kwargs)
+        with pytest.raises(StreamEventError):
+            StreamEvent(**base)
+
+    def test_events_order_by_time_then_identity(self):
+        a = StreamEvent(time=1.0, system_id=0, node_id=5, event_id="a")
+        b = StreamEvent(time=1.0, system_id=0, node_id=9, event_id="b")
+        c = StreamEvent(time=0.5, system_id=9, node_id=0, event_id="c")
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_json_round_trip(self):
+        ev = StreamEvent(
+            time=12.25,
+            system_id=4,
+            node_id=17,
+            event_id="s4-f000017",
+            category=Category.SOFTWARE,
+            downtime_hours=1.5,
+        )
+        again = StreamEvent.from_json_line(ev.to_json_line())
+        assert again == ev
+        assert again.category is Category.SOFTWARE
+        assert again.downtime_hours == 1.5
+
+    def test_json_round_trip_with_subtype(self):
+        ev = StreamEvent(
+            time=3.0,
+            system_id=0,
+            node_id=1,
+            event_id="x",
+            subtype=HardwareSubtype.MEMORY,
+        )
+        again = StreamEvent.from_json_line(ev.to_json_line())
+        assert again.subtype is HardwareSubtype.MEMORY
+        assert again.category is Category.HARDWARE
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"time": 1.0}',
+            '{"time": 1.0, "system_id": 0, "node_id": 0, "event_id": "e", '
+            '"category": "bogus"}',
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(StreamEventError):
+            StreamEvent.from_json_line(line)
+
+
+class TestWatermarkClock:
+    def test_initial_watermark_is_minus_inf(self):
+        clock = WatermarkClock(lateness_days=1.0)
+        assert clock.watermark == -math.inf
+
+    def test_admit_advances_high_water_mark(self):
+        clock = WatermarkClock(lateness_days=1.0)
+        assert clock.admit(5.0)
+        assert clock.high == 5.0
+        assert clock.watermark == 4.0
+
+    def test_out_of_order_within_tolerance_admitted(self):
+        clock = WatermarkClock(lateness_days=2.0)
+        clock.admit(10.0)
+        assert clock.admit(8.5)
+        assert clock.high == 10.0  # high never regresses
+
+    def test_late_event_rejected(self):
+        clock = WatermarkClock(lateness_days=1.0)
+        clock.admit(10.0)
+        assert not clock.admit(8.9)
+
+    def test_zero_lateness_rejects_any_regression(self):
+        clock = WatermarkClock(lateness_days=0.0)
+        clock.admit(3.0)
+        assert not clock.admit(2.999)
+        assert clock.admit(3.0)  # equal to watermark is admitted
+
+    def test_seal_rejects_everything(self):
+        clock = WatermarkClock(lateness_days=5.0)
+        clock.admit(1.0)
+        clock.seal()
+        assert clock.watermark == math.inf
+        assert not clock.admit(1e12)

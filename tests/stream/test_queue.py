@@ -1,0 +1,145 @@
+"""Bounded queue backpressure policies and the threaded pipeline."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.stream import (
+    BackpressurePolicy,
+    BoundedQueue,
+    IngestError,
+    IngestPipeline,
+    StreamEvent,
+)
+
+
+def _event(i: int) -> StreamEvent:
+    return StreamEvent(time=float(i), system_id=0, node_id=0, event_id=f"e{i}")
+
+
+class TestPolicies:
+    def test_drop_oldest_evicts_head(self):
+        queue = BoundedQueue(capacity=3, policy=BackpressurePolicy.DROP_OLDEST)
+        for i in range(5):
+            assert queue.put(_event(i))
+        assert queue.dropped_oldest == 2
+        batch = queue.get_batch(10)
+        assert [ev.event_id for ev in batch] == ["e2", "e3", "e4"]
+
+    def test_reject_discards_incoming(self):
+        queue = BoundedQueue(capacity=3, policy=BackpressurePolicy.REJECT)
+        results = [queue.put(_event(i)) for i in range(5)]
+        assert results == [True, True, True, False, False]
+        assert queue.rejected == 2
+        batch = queue.get_batch(10)
+        assert [ev.event_id for ev in batch] == ["e0", "e1", "e2"]
+
+    def test_block_waits_for_consumer(self):
+        queue = BoundedQueue(capacity=2, policy=BackpressurePolicy.BLOCK)
+        produced = []
+
+        def producer():
+            for i in range(6):
+                queue.put(_event(i))
+                produced.append(i)
+            queue.close()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        received = []
+        while (batch := queue.get_batch(2)) is not None:
+            received.extend(ev.event_id for ev in batch)
+        thread.join()
+        # Lossless: every event arrives exactly once, in order.
+        assert received == [f"e{i}" for i in range(6)]
+        assert queue.dropped_oldest == 0 and queue.rejected == 0
+
+    def test_close_unblocks_producer(self):
+        queue = BoundedQueue(capacity=1, policy=BackpressurePolicy.BLOCK)
+        queue.put(_event(0))
+        blocked = threading.Thread(target=queue.put, args=(_event(1),))
+        blocked.start()
+        queue.close()
+        blocked.join(timeout=5.0)
+        assert not blocked.is_alive()
+
+    def test_get_batch_returns_none_when_closed_and_drained(self):
+        queue = BoundedQueue()
+        queue.put(_event(0))
+        queue.close()
+        assert queue.get_batch(10) is not None
+        assert queue.get_batch(10) is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(IngestError):
+            BoundedQueue(capacity=0)
+
+
+class _Recorder:
+    """A consumer that records delivered batches."""
+
+    def __init__(self):
+        self.batches: list[list[StreamEvent]] = []
+
+    def process_batch(self, events):
+        from repro.stream import BatchStats
+
+        self.batches.append(list(events))
+        return BatchStats(accepted=len(events))
+
+
+class TestPipeline:
+    def test_pipeline_delivers_everything_in_order(self):
+        recorder = _Recorder()
+        events = [_event(i) for i in range(100)]
+        pipeline = IngestPipeline(
+            iter(events), recorder, capacity=8, batch_size=7
+        )
+        totals = pipeline.run()
+        assert totals.accepted == 100
+        flat = [ev for batch in recorder.batches for ev in batch]
+        assert flat == events
+        assert all(len(batch) <= 7 for batch in recorder.batches)
+
+    def test_max_events_stops_early_and_releases_producer(self):
+        recorder = _Recorder()
+        events = [_event(i) for i in range(1000)]
+        pipeline = IngestPipeline(
+            iter(events), recorder, capacity=4, batch_size=10, max_events=25
+        )
+        totals = pipeline.run()
+        assert totals.accepted == 25
+        delivered = [ev for batch in recorder.batches for ev in batch]
+        assert delivered == events[:25]
+
+    def test_slow_consumer_under_drop_oldest_keeps_newest(self):
+        # A consumer that never drains while the producer runs is the
+        # deterministic worst case of a slow consumer: the producer laps
+        # the queue and only the newest `capacity` events survive.
+        from repro.stream import consume_loop
+
+        queue = BoundedQueue(capacity=5, policy=BackpressurePolicy.DROP_OLDEST)
+        for i in range(50):
+            assert queue.put(_event(i))
+        queue.close()
+        recorder = _Recorder()
+        totals = consume_loop(queue, recorder, batch_size=10)
+        delivered = [ev.event_id for b in recorder.batches for ev in b]
+        assert delivered == [f"e{i}" for i in range(45, 50)]
+        assert queue.dropped_oldest == 45
+        assert totals.accepted == 5
+
+    def test_slow_consumer_under_reject_keeps_oldest(self):
+        from repro.stream import consume_loop
+
+        queue = BoundedQueue(capacity=5, policy=BackpressurePolicy.REJECT)
+        for i in range(50):
+            queue.put(_event(i))
+        queue.close()
+        recorder = _Recorder()
+        consume_loop(queue, recorder, batch_size=10)
+        delivered = [ev.event_id for b in recorder.batches for ev in b]
+        assert delivered == [f"e{i}" for i in range(5)]
+        assert queue.rejected == 45
